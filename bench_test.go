@@ -1,0 +1,133 @@
+package lcshortcut_test
+
+import (
+	"testing"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/experiments"
+	"lcshortcut/internal/findshort"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/mst"
+	"lcshortcut/internal/partagg"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+// Each benchmark regenerates one experiment table (the paper's theorem-bound
+// "tables and figures"; see EXPERIMENTS.md). Simulated CONGEST rounds — the
+// model's cost metric — are reported as the "rounds" metric alongside
+// wall-clock time; run with -v to print the full tables.
+
+func benchTable(b *testing.B, fn func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tbl.Format())
+		}
+		for _, row := range tbl.Rows {
+			for _, cell := range row {
+				if cell == "NO" {
+					b.Fatalf("%s: bound violated: %v", tbl.ID, row)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkE1TreeRouting(b *testing.B)  { benchTable(b, experiments.E1TreeRouting) }
+func BenchmarkE2CoreSlow(b *testing.B)     { benchTable(b, experiments.E2CoreSlow) }
+func BenchmarkE3CoreFast(b *testing.B)     { benchTable(b, experiments.E3CoreFast) }
+func BenchmarkE4FindShortcut(b *testing.B) { benchTable(b, experiments.E4FindShortcut) }
+func BenchmarkE5Genus(b *testing.B)        { benchTable(b, experiments.E5Genus) }
+func BenchmarkE6PartOps(b *testing.B)      { benchTable(b, experiments.E6PartOps) }
+func BenchmarkE7MST(b *testing.B)          { benchTable(b, experiments.E7MST) }
+func BenchmarkE8Doubling(b *testing.B)     { benchTable(b, experiments.E8Doubling) }
+func BenchmarkE9Motivation(b *testing.B)   { benchTable(b, experiments.E9Motivation) }
+func BenchmarkF1RenderBlocks(b *testing.B) { benchTable(b, experiments.F1RenderBlocks) }
+
+// BenchmarkCentralFindShortcut measures the centralized reference at a scale
+// the round-exact simulator does not reach (quality-only experiments).
+func BenchmarkCentralFindShortcut(b *testing.B) {
+	g := gen.Grid(64, 64)
+	p := partition.Voronoi(g, 64, 3)
+	tr := tree.BFSTree(g, 0)
+	cStar := core.WitnessCongestion(tr, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, err := core.FindShortcut(tr, p, core.FindConfig{C: cStar, B: 1, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fr.S.BlockParameter() > 3 {
+			b.Fatal("block parameter out of bound")
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw engine speed: one FindShortcut
+// protocol run, reporting simulated rounds per run.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	g := gen.Grid(16, 16)
+	p := partition.Voronoi(g, 12, 5)
+	tr := tree.BFSTree(g, 0)
+	cStar := core.WitnessCongestion(tr, p)
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		_, stats, ok, err := findshort.Run(g, p, 0, findshort.Config{C: cStar, B: 1, Seed: int64(i)}, congest.Options{})
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkMSTStrategies compares the three MST strategies on one instance.
+func BenchmarkMSTStrategies(b *testing.B) {
+	g := gen.WithUniqueWeights(gen.Grid(8, 8), 7)
+	for _, st := range []struct {
+		name string
+		s    mst.Strategy
+	}{
+		{"shortcut", mst.StrategyShortcut},
+		{"canonical", mst.StrategyCanonical},
+		{"noshortcut", mst.StrategyNoShortcut},
+	} {
+		b.Run(st.name, func(b *testing.B) {
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				results, stats, err := mst.Run(g, 0, int64(i), mst.Config{Strategy: st.s}, congest.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = results
+				rounds = stats.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkPartAggregate measures the third application end to end.
+func BenchmarkPartAggregate(b *testing.B) {
+	g := gen.Grid(12, 12)
+	p := partition.GridSnake(12, 12, 3)
+	values := make([]int64, g.NumNodes())
+	for v := range values {
+		values[v] = int64(v)
+	}
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		_, stats, err := partagg.Run(g, p, values, 0, partagg.Config{Canonical: true, Seed: int64(i)}, congest.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}

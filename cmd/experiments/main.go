@@ -1,0 +1,57 @@
+// Command experiments regenerates every experiment table (E1-E9, F1) from
+// EXPERIMENTS.md and prints them to stdout. Pass experiment IDs to run a
+// subset, e.g.:
+//
+//	experiments            # run everything
+//	experiments E4 E7 F1   # run a subset
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"lcshortcut/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fns := map[string]func() (*experiments.Table, error){
+		"E1": experiments.E1TreeRouting,
+		"E2": experiments.E2CoreSlow,
+		"E3": experiments.E3CoreFast,
+		"E4": experiments.E4FindShortcut,
+		"E5": experiments.E5Genus,
+		"E6": experiments.E6PartOps,
+		"E7": experiments.E7MST,
+		"E8": experiments.E8Doubling,
+		"E9": experiments.E9Motivation,
+		"F1": experiments.F1RenderBlocks,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "F1"}
+	want := order
+	if len(args) > 0 {
+		want = nil
+		for _, a := range args {
+			id := strings.ToUpper(a)
+			if _, ok := fns[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (have %s)", a, strings.Join(order, " "))
+			}
+			want = append(want, id)
+		}
+	}
+	for _, id := range want {
+		tbl, err := fns[id]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(tbl.Format())
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package lcshortcut is a from-scratch Go reproduction of
+//
+//	"Low-Congestion Shortcuts without Embedding",
+//	Bernhard Haeupler, Taisuke Izumi, Goran Zuzic — PODC 2016.
+//
+// The implementation lives under internal/: a CONGEST-model simulator
+// (internal/congest), graph/partition/tree substrates (internal/graph,
+// internal/gen, internal/partition, internal/tree), the paper's
+// tree-restricted shortcut framework with both centralized references and
+// round-exact distributed protocols (internal/core, internal/coredist,
+// internal/partops, internal/findshort), and the applications: MST
+// (internal/mst, Lemma 4) and part-parallel aggregation (internal/partagg).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the per-theorem reproduction results. The benchmarks in
+// bench_test.go regenerate every experiment table.
+package lcshortcut

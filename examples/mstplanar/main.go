@@ -1,0 +1,45 @@
+// MST on a genus-1 network (Lemma 4): run distributed Boruvka under all
+// three communication strategies and verify every result against Kruskal.
+//
+//	go run ./examples/mstplanar
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/mst"
+)
+
+func main() {
+	g := gen.WithUniqueWeights(gen.Torus(8, 8), 2024)
+	wantW, _, err := mst.Kruskal(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("torus 8x8: n=%d m=%d, unique MST weight=%d\n", g.NumNodes(), g.NumEdges(), wantW)
+
+	for _, st := range []struct {
+		name string
+		s    mst.Strategy
+	}{
+		{"shortcut (Lemma 4, FindShortcut per phase)", mst.StrategyShortcut},
+		{"canonical (full-ancestor shortcut)", mst.StrategyCanonical},
+		{"no shortcut (intra-fragment flooding)", mst.StrategyNoShortcut},
+	} {
+		results, stats, err := mst.Run(g, 0, 99, mst.Config{Strategy: st.s}, congest.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "MATCHES Kruskal"
+		if results[0].Weight != wantW {
+			status = fmt.Sprintf("WRONG (%d)", results[0].Weight)
+		}
+		fmt.Printf("%-46s rounds=%-7d phases=%-3d weight %s\n",
+			st.name, stats.Rounds, results[0].Phases, status)
+	}
+	fmt.Println("\nnote: at these simulation scales construction constants dominate;")
+	fmt.Println("the asymptotic gap appears in the routing-only comparison (experiment E9).")
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a pathological partition, construct a tree-restricted
+// shortcut with the paper's FindShortcut, and compare its quality against
+// the trivial alternatives.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/findshort"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+func main() {
+	// A 16x16 grid (diameter 30) partitioned into two snake-shaped parts
+	// whose internal diameter is more than twice the graph diameter — the
+	// situation that makes naive per-part communication slow (§1.2).
+	g := gen.Grid(16, 16)
+	p := partition.GridSnake(16, 16, 2)
+	if err := p.Validate(g); err != nil {
+		log.Fatal(err)
+	}
+	tr := tree.BFSTree(g, 0)
+	fmt.Printf("graph: n=%d, diameter=%d; parts: %d, max part diameter=%d\n",
+		g.NumNodes(), g.Diameter(), p.NumParts(), p.MaxPartDiameter(g))
+
+	// The canonical witness: a b=1 shortcut always exists with congestion c*.
+	witness, cStar := core.CanonicalWitness(tr, p)
+	fmt.Printf("canonical witness: congestion c*=%d, block parameter=%d\n",
+		cStar, witness.BlockParameter())
+
+	// FindShortcut (Theorem 3), centralized reference: given that a (c*, 1)
+	// shortcut exists it finds one with congestion O(c* log N) and block ≤ 3.
+	fr, err := core.FindShortcut(tr, p, core.FindConfig{C: cStar, B: 1, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := fr.S.Measure()
+	fmt.Printf("FindShortcut (central): congestion=%d block=%d dilation=%d in %d iterations\n",
+		q.Congestion, q.BlockParameter, q.Dilation, fr.Iterations)
+	fmt.Printf("Lemma 1 check: dilation %d <= b(2D+1) = %d\n",
+		q.Dilation, q.BlockParameter*(2*tr.Height()+1))
+
+	// The same algorithm as a real CONGEST protocol with exact round costs.
+	results, stats, ok, err := findshort.Run(g, p, 0,
+		findshort.Config{C: cStar, B: 1, Seed: 42}, congest.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatal("distributed construction failed")
+	}
+	fmt.Printf("FindShortcut (distributed): %d CONGEST rounds, %d messages, max message %d bits\n",
+		stats.Rounds, stats.Messages, stats.MaxMessageBits)
+	fmt.Printf("every node fixed its part by iteration %d\n", results[0].Iterations)
+}

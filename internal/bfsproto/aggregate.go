@@ -1,0 +1,93 @@
+package bfsproto
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/congest"
+)
+
+type aggUpMsg struct{ v int64 }
+
+func (aggUpMsg) Bits() int { return 64 }
+
+type aggDownMsg struct{ v int64 }
+
+func (aggDownMsg) Bits() int { return 64 }
+
+// AggregatePhase performs a global convergecast of per-node values over the
+// BFS tree using an associative, commutative combiner, followed by a
+// broadcast of the result — the standard O(D)-round "compute a global
+// function" primitive. All nodes must enter aligned at the same round and
+// leave aligned 2·depth(T)+3 rounds later, each holding the global value.
+func AggregatePhase(ctx *congest.Ctx, info *Info, local int64, combine func(a, b int64) int64) (int64, error) {
+	h := info.Height
+	acc := local
+	childReports := 0
+	result := int64(0)
+	haveResult := false
+	deliver := func() {
+		haveResult = true
+		for _, c := range info.Children {
+			ctx.Send(c, aggDownMsg{v: result})
+		}
+	}
+	var inbox []congest.Message
+	for k := 0; k <= 2*h+2; k++ {
+		for _, m := range inbox {
+			switch msg := m.Payload.(type) {
+			case aggUpMsg:
+				childReports++
+				acc = combine(acc, msg.v)
+			case aggDownMsg:
+				result = msg.v
+				deliver()
+			default:
+				return 0, fmt.Errorf("bfsproto: unexpected payload %T in aggregate", m.Payload)
+			}
+		}
+		if k == h-info.Depth {
+			if childReports != len(info.Children) {
+				return 0, fmt.Errorf("bfsproto: node %d aggregate: %d of %d child reports",
+					ctx.ID(), childReports, len(info.Children))
+			}
+			if info.Parent != -1 {
+				ctx.Send(info.Parent, aggUpMsg{v: acc})
+			} else {
+				result = acc
+				deliver()
+			}
+		}
+		if k < 2*h+2 {
+			inbox = ctx.StepRound()
+		}
+	}
+	if !haveResult {
+		return 0, fmt.Errorf("bfsproto: node %d finished aggregate without a result", ctx.ID())
+	}
+	return result, nil
+}
+
+// MaxPhase aggregates the global maximum of per-node values.
+func MaxPhase(ctx *congest.Ctx, info *Info, local int64) (int64, error) {
+	return AggregatePhase(ctx, info, local, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// SumPhase aggregates the global sum of per-node values.
+func SumPhase(ctx *congest.Ctx, info *Info, local int64) (int64, error) {
+	return AggregatePhase(ctx, info, local, func(a, b int64) int64 { return a + b })
+}
+
+// OrPhase aggregates a global boolean OR.
+func OrPhase(ctx *congest.Ctx, info *Info, local bool) (bool, error) {
+	l := int64(0)
+	if local {
+		l = 1
+	}
+	v, err := AggregatePhase(ctx, info, l, func(a, b int64) int64 { return a | b })
+	return v != 0, err
+}

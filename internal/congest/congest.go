@@ -1,0 +1,372 @@
+// Package congest simulates the CONGEST model of distributed computing
+// (Peleg 2000): a synchronous message-passing network over an undirected
+// graph in which every node may send at most one O(log n)-bit message to each
+// neighbor per round.
+//
+// Every protocol in this repository is written as a per-node procedure
+// (a Proc) that runs in its own goroutine and advances the global round
+// clock by calling Ctx.StepRound — the synchronous barrier. The engine
+// enforces the model (neighbor-only delivery, one message per edge-direction
+// per round, optional strict message-size budgets) and accounts the model's
+// cost metric exactly: the number of rounds, plus total messages and bits for
+// diagnostics.
+//
+// The simulation is deterministic: nodes interact only through the engine at
+// round barriers and each node's random source is seeded from (Options.Seed,
+// node ID), so a run's outcome is independent of goroutine scheduling.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"lcshortcut/internal/graph"
+)
+
+// Payload is the content of a CONGEST message. Bits reports the payload's
+// size in bits, which the engine accounts and optionally enforces against
+// Options.MaxMessageBits. Implementations should report an honest encoding
+// size (IDs cost ~log2 n bits, etc.).
+type Payload interface {
+	Bits() int
+}
+
+// Message is a payload together with the neighbor it arrived from.
+type Message struct {
+	From    graph.NodeID
+	Payload Payload
+}
+
+// Proc is the per-node protocol procedure. It runs in its own goroutine with
+// ctx bound to one vertex; returning ends the node's participation (any
+// not-yet-delivered sends are still delivered at the next barrier). Returning
+// a non-nil error aborts the whole run.
+type Proc func(ctx *Ctx) error
+
+// Options configures a simulation run.
+type Options struct {
+	// MaxRounds aborts the run once this many barriers have executed,
+	// guarding against protocol bugs. 0 means DefaultMaxRounds.
+	MaxRounds int
+	// MaxMessageBits, when positive, makes the engine reject any message
+	// whose payload reports more bits than this (the model's O(log n) budget).
+	// When 0, sizes are measured but not enforced.
+	MaxMessageBits int
+	// Seed derives every node-local random source. Runs with equal seeds are
+	// identical.
+	Seed int64
+}
+
+// DefaultMaxRounds is the watchdog bound used when Options.MaxRounds is 0.
+const DefaultMaxRounds = 500_000
+
+// Stats reports the cost of a completed run.
+type Stats struct {
+	// Rounds is the number of synchronous rounds executed (the CONGEST
+	// complexity measure).
+	Rounds int
+	// Messages is the total number of point-to-point messages delivered.
+	Messages int64
+	// TotalBits is the sum of payload sizes over all delivered messages.
+	TotalBits int64
+	// MaxMessageBits is the largest single payload observed.
+	MaxMessageBits int
+}
+
+// Sentinel errors returned by Run (wrapped with context).
+var (
+	// ErrMaxRounds reports that the watchdog bound was hit.
+	ErrMaxRounds = errors.New("congest: exceeded maximum round count")
+	// ErrModelViolation reports a protocol breaking CONGEST rules (sending to
+	// a non-neighbor, two messages over one edge-direction in a round, or an
+	// oversized message under a strict bit budget).
+	ErrModelViolation = errors.New("congest: model violation")
+)
+
+// errAbort is panicked into node goroutines blocked at the barrier when the
+// run aborts, so they unwind and exit promptly.
+var errAbort = errors.New("congest: run aborted")
+
+type yieldKind int
+
+const (
+	yieldStep yieldKind = iota + 1
+	yieldDone
+	yieldFail
+)
+
+type yieldSignal struct {
+	id   graph.NodeID
+	kind yieldKind
+	err  error
+}
+
+type outMsg struct {
+	to      graph.NodeID
+	payload Payload
+}
+
+// Ctx is a node's handle to the simulation: its identity, neighborhood,
+// send buffer and the round barrier. A Ctx must only be used from the
+// goroutine running its Proc.
+type Ctx struct {
+	id     graph.NodeID
+	g      *graph.Graph
+	run    *runState
+	rng    *rand.Rand
+	out    []outMsg
+	inbox  []Message
+	round  int
+	resume chan []Message
+	// sentAt[i] holds round+1 when a message was already buffered for
+	// neighbor index i this round.
+	sentAt []int
+}
+
+// ID returns the vertex this Ctx is bound to.
+func (c *Ctx) ID() graph.NodeID { return c.id }
+
+// Round returns the number of completed barriers (the current round index).
+func (c *Ctx) Round() int { return c.round }
+
+// N returns the number of nodes in the network. CONGEST assumes nodes know a
+// polynomially tight bound on n; we expose the exact value.
+func (c *Ctx) N() int { return c.g.NumNodes() }
+
+// Neighbors returns the adjacency list of this node (arcs carry the global
+// EdgeID of each incident edge). The slice is owned by the graph.
+func (c *Ctx) Neighbors() []graph.Arc { return c.g.Adj(c.id) }
+
+// Degree returns the node's degree.
+func (c *Ctx) Degree() int { return c.g.Degree(c.id) }
+
+// Rand returns the node-local deterministic random source.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// EdgeWeight returns the weight of edge id (edge weights are part of a
+// node's local input for its incident edges).
+func (c *Ctx) EdgeWeight(id graph.EdgeID) int64 { return c.g.Edge(id).W }
+
+// Send buffers a message to neighbor `to` for delivery at the next barrier.
+// It reports a model violation if `to` is not a neighbor, if a message was
+// already buffered to `to` this round, or if the payload exceeds a strict bit
+// budget. Violations abort the run (they are programmer errors in protocol
+// code, surfaced as errors from Run).
+func (c *Ctx) Send(to graph.NodeID, p Payload) {
+	idx := -1
+	for i, a := range c.g.Adj(c.id) {
+		if a.To == to {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		c.fail(fmt.Errorf("%w: node %d sent to non-neighbor %d in round %d", ErrModelViolation, c.id, to, c.round))
+	}
+	if c.sentAt[idx] == c.round+1 {
+		c.fail(fmt.Errorf("%w: node %d sent twice to neighbor %d in round %d", ErrModelViolation, c.id, to, c.round))
+	}
+	if limit := c.run.opts.MaxMessageBits; limit > 0 && p.Bits() > limit {
+		c.fail(fmt.Errorf("%w: node %d sent %d-bit message (budget %d) in round %d", ErrModelViolation, c.id, p.Bits(), limit, c.round))
+	}
+	c.sentAt[idx] = c.round + 1
+	c.out = append(c.out, outMsg{to: to, payload: p})
+}
+
+// SendAll sends the same payload to every neighbor this round.
+func (c *Ctx) SendAll(p Payload) {
+	for _, a := range c.g.Adj(c.id) {
+		c.Send(a.To, p)
+	}
+}
+
+// StepRound is the synchronous barrier: it ends the node's current round,
+// waits until every live node has done the same, and returns the messages
+// neighbors sent this round (sorted by sender ID). Message delivery follows
+// the CONGEST convention — a message sent in round r is available at the
+// start of round r+1.
+func (c *Ctx) StepRound() []Message {
+	c.run.yield <- yieldSignal{id: c.id, kind: yieldStep}
+	in, ok := <-c.resume
+	if !ok {
+		panic(errAbort)
+	}
+	c.round++
+	return in
+}
+
+// Idle advances the node through k barriers, discarding anything received.
+// Use it only where the protocol guarantees no meaningful traffic arrives.
+func (c *Ctx) Idle(k int) {
+	for i := 0; i < k; i++ {
+		c.StepRound()
+	}
+}
+
+// fail aborts the run with err, unwinding this goroutine.
+func (c *Ctx) fail(err error) {
+	c.run.yield <- yieldSignal{id: c.id, kind: yieldFail, err: err}
+	<-c.resume // engine closes the channel
+	panic(errAbort)
+}
+
+type runState struct {
+	g     *graph.Graph
+	opts  Options
+	yield chan yieldSignal
+	nodes []*Ctx
+}
+
+// Run simulates proc on every vertex of g and returns the run's cost. It
+// returns an error if any node's Proc errs, violates the model, panics, or if
+// the watchdog bound is reached; the returned Stats are valid (partial) in
+// either case.
+func Run(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
+	n := g.NumNodes()
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	rs := &runState{
+		g:     g,
+		opts:  opts,
+		yield: make(chan yieldSignal, n),
+		nodes: make([]*Ctx, n),
+	}
+	for v := 0; v < n; v++ {
+		rs.nodes[v] = &Ctx{
+			id:     v,
+			g:      g,
+			run:    rs,
+			rng:    rand.New(rand.NewSource(mix(opts.Seed, int64(v)))),
+			resume: make(chan []Message, 1),
+			sentAt: make([]int, g.Degree(v)),
+		}
+	}
+	for v := 0; v < n; v++ {
+		go func(ctx *Ctx) {
+			defer func() {
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, errAbort) {
+						return // engine-initiated unwind
+					}
+					rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d panicked: %v", ctx.id, r)}
+					return
+				}
+			}()
+			if err := proc(ctx); err != nil {
+				rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d: %w", ctx.id, err)}
+				return
+			}
+			rs.yield <- yieldSignal{id: ctx.id, kind: yieldDone}
+		}(rs.nodes[v])
+	}
+	return coordinate(rs)
+}
+
+// coordinate drives round barriers until all nodes finish or the run aborts.
+func coordinate(rs *runState) (Stats, error) {
+	var (
+		stats    Stats
+		firstErr error
+		alive    = len(rs.nodes)
+		waiting  = make([]graph.NodeID, 0, alive)
+		inboxes  = make([][]Message, len(rs.nodes))
+	)
+	// abort releases every node still blocked at the barrier (they unwind via
+	// errAbort and exit silently) and drains signals from nodes still
+	// computing, so no goroutine outlives Run.
+	abort := func() {
+		for _, id := range waiting {
+			close(rs.nodes[id].resume)
+			alive--
+		}
+		waiting = waiting[:0]
+		for alive > 0 {
+			sig := <-rs.yield
+			if sig.kind == yieldStep || sig.kind == yieldFail {
+				close(rs.nodes[sig.id].resume)
+			}
+			alive--
+		}
+	}
+	for alive > 0 {
+		// Gather one signal from every live node.
+		for len(waiting) < alive {
+			sig := <-rs.yield
+			switch sig.kind {
+			case yieldStep:
+				waiting = append(waiting, sig.id)
+			case yieldDone:
+				alive--
+			case yieldFail:
+				if firstErr == nil {
+					firstErr = sig.err
+				}
+				close(rs.nodes[sig.id].resume)
+				alive--
+			}
+		}
+		if firstErr != nil {
+			abort()
+			return stats, firstErr
+		}
+		if alive == 0 {
+			break
+		}
+		stats.Rounds++
+		if stats.Rounds > rs.opts.MaxRounds {
+			firstErr = fmt.Errorf("%w (%d)", ErrMaxRounds, rs.opts.MaxRounds)
+			abort()
+			return stats, firstErr
+		}
+		// Deliver: iterate senders in ID order for deterministic inboxes.
+		for id, ctx := range rs.nodes {
+			for _, m := range ctx.out {
+				inboxes[m.to] = append(inboxes[m.to], Message{From: id, Payload: m.payload})
+				stats.Messages++
+				b := m.payload.Bits()
+				stats.TotalBits += int64(b)
+				if b > stats.MaxMessageBits {
+					stats.MaxMessageBits = b
+				}
+			}
+			ctx.out = ctx.out[:0]
+		}
+		sort.Ints(waiting)
+		for _, id := range waiting {
+			in := inboxes[id]
+			inboxes[id] = nil
+			rs.nodes[id].resume <- in
+		}
+		waiting = waiting[:0]
+		// Messages to already-finished nodes are dropped.
+		for id := range inboxes {
+			inboxes[id] = nil
+		}
+	}
+	return stats, nil
+}
+
+// mix derives a node-local seed from the run seed; splitmix64 finalizer.
+func mix(seed, id int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// BitsForID returns the number of bits this repository charges for encoding
+// a value in [0, n): ceil(log2(n)), at least 1. It is the building block for
+// honest Payload.Bits implementations.
+func BitsForID(n int) int {
+	bits := 1
+	for v := 2; v < n; v *= 2 {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/rnd"
+	"lcshortcut/internal/tree"
+)
+
+// FastConfig parameterizes CoreFast.
+type FastConfig struct {
+	// C is the congestion parameter c of the assumed existing shortcut.
+	C int
+	// Seed is the shared randomness all parts sample their activation from.
+	Seed int64
+	// Gamma is the sampling constant γ in p = γ·ln(n)/(2c); 0 means
+	// DefaultGamma.
+	Gamma float64
+	// Remaining optionally restricts the run to the marked parts.
+	Remaining []bool
+}
+
+// DefaultGamma is the sampling constant used when FastConfig.Gamma is 0. It
+// is chosen so the Chernoff arguments of Lemma 5 hold with comfortable margin
+// at the experiment scales in this repository.
+const DefaultGamma = 4
+
+// CoreFast is the centralized reference implementation of Algorithm 2, the
+// randomized O(D·log n + c)-round core subroutine. Each part becomes active
+// with probability p = γ·ln(n)/(2c) using shared randomness; the bottom-up
+// pass propagates only active part IDs and declares an edge unusable when at
+// least 4c·p active parts want it. A second pass then assigns every usable
+// edge all (active or not) parts it can see.
+//
+// Guarantees (Lemma 5), given that a T-restricted shortcut with congestion c
+// and block parameter b exists: shortcut-congestion ≤ 8c w.h.p. and at least
+// half of the remaining parts end with block count ≤ 3b.
+func CoreFast(t *tree.Tree, p *partition.Partition, cfg FastConfig) *CoreResult {
+	if cfg.C < 1 {
+		panic(fmt.Sprintf("core: CoreFast needs c >= 1, got %d", cfg.C))
+	}
+	gamma := cfg.Gamma
+	if gamma == 0 {
+		gamma = DefaultGamma
+	}
+	n := t.Graph().NumNodes()
+	prob := gamma * math.Log(float64(n)+2) / (2 * float64(cfg.C))
+	if prob > 1 {
+		prob = 1
+	}
+	threshold := 4 * float64(cfg.C) * prob
+
+	active := make([]bool, p.NumParts())
+	for i := range active {
+		if cfg.Remaining != nil && !cfg.Remaining[i] {
+			continue
+		}
+		active[i] = rnd.Bernoulli(cfg.Seed, int64(i), prob)
+	}
+
+	s := NewShortcut(t, p)
+	res := &CoreResult{S: s, Unusable: make([]bool, t.Graph().NumEdges()), Active: active}
+	order := t.BFSOrder()
+
+	// Pass 1 (Algorithm 2, steps 1-2): determine unusable edges from the
+	// sampled part IDs.
+	lists := make([][]int, n)
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		lv := gatherList(t, p, v, lists, res.Unusable, cfg.Remaining, active)
+		lists[v] = nil
+		if v == t.Root() {
+			continue
+		}
+		if float64(len(lv)) >= threshold {
+			res.Unusable[t.ParentEdge(v)] = true
+			continue
+		}
+		lists[v] = lv
+	}
+
+	// Pass 2 (steps 3-5): route every part ID up to the first unusable edge,
+	// assigning usable edges everything they can see.
+	for i := range lists {
+		lists[i] = nil
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		qv := gatherList(t, p, v, lists, res.Unusable, cfg.Remaining, nil)
+		lists[v] = nil
+		if v == t.Root() {
+			continue
+		}
+		e := t.ParentEdge(v)
+		if res.Unusable[e] {
+			continue
+		}
+		if len(qv) > 0 {
+			s.SetParts(e, qv)
+		}
+		lists[v] = qv
+	}
+	return res
+}

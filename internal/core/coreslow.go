@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+// CoreResult is the output of one core-subroutine run (Algorithm 1 or 2):
+// a tentative shortcut, the set of edges declared unusable, and — for
+// CoreFast — which parts were sampled active.
+type CoreResult struct {
+	S *Shortcut
+	// Unusable[e] reports whether tree edge e was declared unusable (indexed
+	// by EdgeID; always false for non-tree edges).
+	Unusable []bool
+	// Active[i] reports whether part i was sampled active (CoreFast only;
+	// nil for CoreSlow).
+	Active []bool
+}
+
+// CoreSlow is the centralized reference implementation of Algorithm 1, the
+// deterministic O(D·c)-round core subroutine. Processing tree edges bottom-up
+// it assigns each edge to every part it can see, unless more than 2c parts
+// try to use it — then the edge is unusable and blocks visibility upward.
+//
+// Guarantees (Lemma 7), given that a T-restricted shortcut with congestion c
+// and block parameter b exists: the result has shortcut-congestion ≤ 2c and
+// at least half of the parts have block count ≤ 3b.
+//
+// remaining, when non-nil, restricts the run to the parts it marks true;
+// other parts are treated as nonexistent (used by FindShortcut iterations).
+func CoreSlow(t *tree.Tree, p *partition.Partition, c int, remaining []bool) *CoreResult {
+	if c < 1 {
+		panic(fmt.Sprintf("core: CoreSlow needs c >= 1, got %d", c))
+	}
+	s := NewShortcut(t, p)
+	res := &CoreResult{S: s, Unusable: make([]bool, t.Graph().NumEdges())}
+	lists := make([][]int, t.Graph().NumNodes())
+	order := t.BFSOrder()
+	for k := len(order) - 1; k >= 0; k-- {
+		v := order[k]
+		lv := gatherList(t, p, v, lists, res.Unusable, remaining, nil)
+		lists[v] = nil // children lists were merged; drop them
+		if v == t.Root() {
+			continue
+		}
+		e := t.ParentEdge(v)
+		if len(lv) > 2*c {
+			res.Unusable[e] = true
+			continue
+		}
+		if len(lv) > 0 {
+			s.SetParts(e, lv)
+		}
+		lists[v] = lv
+	}
+	return res
+}
+
+// gatherList computes L_v: the sorted union of the part ID of v (when
+// covered, remaining, and — when activeOnly is non-nil — active) with the
+// lists propagated over v's usable child edges. Child lists are read from
+// lists[child].
+func gatherList(t *tree.Tree, p *partition.Partition, v int, lists [][]int, unusable []bool, remaining, activeOnly []bool) []int {
+	var lv []int
+	if i := p.Part(v); i != partition.None && (remaining == nil || remaining[i]) && (activeOnly == nil || activeOnly[i]) {
+		lv = append(lv, i)
+	}
+	for _, ch := range t.Children(v) {
+		if unusable[t.ParentEdge(ch)] {
+			continue
+		}
+		lv = mergeSorted(lv, lists[ch])
+	}
+	return lv
+}
+
+// mergeSorted returns the sorted union of two sorted unique int slices.
+func mergeSorted(a, b []int) []int {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		out := make([]int, len(b))
+		copy(out, b)
+		return out
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

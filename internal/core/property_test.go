@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+// randomInstance draws a random connected graph, partition and root from a
+// seed — the generator behind all property sweeps in this file.
+func randomInstance(seed int64) (*graph.Graph, *tree.Tree, *partition.Partition) {
+	rng := rand.New(rand.NewSource(seed))
+	var g *graph.Graph
+	switch rng.Intn(5) {
+	case 0:
+		g = gen.Grid(2+rng.Intn(7), 2+rng.Intn(7))
+	case 1:
+		g = gen.Torus(3+rng.Intn(5), 3+rng.Intn(5))
+	case 2:
+		g = gen.ErdosRenyi(10+rng.Intn(40), 0.05+rng.Float64()*0.1, rng.Int63())
+	case 3:
+		g = gen.OuterplanarTriangulation(5+rng.Intn(40), rng.Int63())
+	default:
+		g = gen.RandomTree(5+rng.Intn(50), rng.Int63())
+	}
+	numParts := 1 + rng.Intn(g.NumNodes())
+	if numParts > 12 {
+		numParts = 12
+	}
+	p := partition.Voronoi(g, numParts, rng.Int63())
+	tr := tree.BFSTree(g, rng.Intn(g.NumNodes()))
+	return g, tr, p
+}
+
+func quickCfg(seed int64, n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Property: the canonical witness always has block parameter exactly 1 and
+// its congestion is between 1 and N.
+func TestPropWitnessAlwaysValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		_, tr, p := randomInstance(seed)
+		s, c := CanonicalWitness(tr, p)
+		return s.BlockParameter() == 1 && c >= 1 && c <= p.NumParts() && s.Validate() == nil
+	}
+	if err := quick.Check(prop, quickCfg(101, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lemma 7 on random instances — CoreSlow at the witness congestion
+// keeps congestion ≤ 2c* and at least half the parts good.
+func TestPropCoreSlowLemma7(t *testing.T) {
+	prop := func(seed int64) bool {
+		_, tr, p := randomInstance(seed)
+		cStar := WitnessCongestion(tr, p)
+		res := CoreSlow(tr, p, cStar, nil)
+		if res.S.ShortcutCongestion() > 2*cStar {
+			return false
+		}
+		good := 0
+		for i := 0; i < p.NumParts(); i++ {
+			if res.S.BlockCount(i) <= 3 {
+				good++
+			}
+		}
+		return 2*good >= p.NumParts()
+	}
+	if err := quick.Check(prop, quickCfg(102, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Lemma 5 on random instances and seeds (the w.h.p. claims hold on
+// every draw at these sizes).
+func TestPropCoreFastLemma5(t *testing.T) {
+	prop := func(seed int64) bool {
+		_, tr, p := randomInstance(seed)
+		cStar := WitnessCongestion(tr, p)
+		res := CoreFast(tr, p, FastConfig{C: cStar, Seed: seed ^ 0x5bd1e995})
+		if res.S.ShortcutCongestion() > 8*cStar {
+			return false
+		}
+		good := 0
+		for i := 0; i < p.NumParts(); i++ {
+			if res.S.BlockCount(i) <= 3 {
+				good++
+			}
+		}
+		return 2*good >= p.NumParts()
+	}
+	if err := quick.Check(prop, quickCfg(103, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Theorem 3 + Lemma 1 on random instances — FindShortcut output
+// has block ≤ 3, dilation within b(2D+1), and every part fixed exactly once.
+func TestPropFindShortcutTheorem3(t *testing.T) {
+	prop := func(seed int64) bool {
+		_, tr, p := randomInstance(seed)
+		cStar := WitnessCongestion(tr, p)
+		fr, err := FindShortcut(tr, p, FindConfig{C: cStar, B: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		q := fr.S.Measure()
+		if q.BlockParameter > 3 {
+			return false
+		}
+		if q.Dilation > q.BlockParameter*(2*tr.Height()+1) {
+			return false
+		}
+		total := 0
+		for _, g := range fr.GoodPerIteration {
+			total += g
+		}
+		return total == p.NumParts()
+	}
+	if err := quick.Check(prop, quickCfg(104, 30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the fast single-pass block counter agrees with the general
+// union-find counter on every core-subroutine output.
+func TestPropBlockCounterAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		_, tr, p := randomInstance(seed)
+		cStar := WitnessCongestion(tr, p)
+		for _, res := range []*CoreResult{
+			CoreSlow(tr, p, cStar, nil),
+			CoreFast(tr, p, FastConfig{C: cStar, Seed: seed}),
+			CoreSlow(tr, p, 1, nil), // starved run: many blocks
+		} {
+			fast := blockCountsCoreOutput(res.S, nil)
+			for i := 0; i < p.NumParts(); i++ {
+				if fast[i] != res.S.BlockCount(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(105, 30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shortcut-congestion of a FindShortcut result never exceeds the
+// per-iteration cap times the iteration count (the union-of-partial-
+// shortcuts argument in Theorem 3's proof).
+func TestPropCongestionUnionBound(t *testing.T) {
+	prop := func(seed int64) bool {
+		_, tr, p := randomInstance(seed)
+		cStar := WitnessCongestion(tr, p)
+		fr, err := FindShortcut(tr, p, FindConfig{C: cStar, B: 1, Seed: seed, UseSlow: true})
+		if err != nil {
+			return false
+		}
+		return fr.S.ShortcutCongestion() <= 2*cStar*fr.Iterations
+	}
+	if err := quick.Check(prop, quickCfg(106, 30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: restricting a partition (dropping parts) never increases the
+// witness congestion — the monotonicity FindShortcut's iteration argument
+// relies on.
+func TestPropWitnessMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, tr, p := randomInstance(seed)
+		if p.NumParts() < 2 {
+			return true
+		}
+		full := WitnessCongestion(tr, p)
+		// Keep only the even-indexed parts.
+		assign := make([]int, g.NumNodes())
+		for v := range assign {
+			assign[v] = partition.None
+			if i := p.Part(v); i != partition.None && i%2 == 0 {
+				assign[v] = i / 2
+			}
+		}
+		sub, err := partition.FromAssignment(assign)
+		if err != nil {
+			return false
+		}
+		return WitnessCongestion(tr, sub) <= full
+	}
+	if err := quick.Check(prop, quickCfg(107, 30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every block returned by Blocks is a connected subtree of T with
+// the claimed root as its unique shallowest vertex, and blocks of one part
+// are vertex-disjoint.
+func TestPropBlockStructure(t *testing.T) {
+	prop := func(seed int64) bool {
+		g, tr, p := randomInstance(seed)
+		cStar := WitnessCongestion(tr, p)
+		res := CoreFast(tr, p, FastConfig{C: cStar, Seed: seed + 9})
+		for i := 0; i < p.NumParts(); i++ {
+			seen := make(map[graph.NodeID]bool)
+			for _, blk := range res.S.Blocks(i) {
+				for _, v := range blk.Nodes {
+					if seen[v] {
+						return false // blocks of one part overlap
+					}
+					seen[v] = true
+					if tr.Depth(v) < tr.Depth(blk.Root) {
+						return false // root not shallowest
+					}
+					if !tr.IsAncestor(blk.Root, v) {
+						return false // not a subtree of T under the root
+					}
+				}
+			}
+		}
+		_ = g
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(108, 25)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,376 @@
+// Package core implements the paper's primary contribution: tree-restricted
+// low-congestion shortcuts (Definitions 2 and 3), their quality measures
+// (congestion, block parameter, dilation and Lemma 1 relating them), the
+// canonical existence witness used to instantiate the paper's conditional
+// guarantees, and centralized reference implementations of the construction
+// algorithms (CoreSlow — Algorithm 1, CoreFast — Algorithm 2, and the
+// FindShortcut framework of Theorem 3 including the Appendix A doubling
+// variant).
+//
+// The centralized implementations are the semantic ground truth: the
+// distributed protocols in package coredist must produce bit-identical
+// shortcuts (same algorithm, same randomness), which the integration tests
+// assert. They are also fast enough to run quality experiments at scales the
+// round-accurate simulator cannot reach.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+// Shortcut is a T-restricted shortcut (Definition 2): an assignment of tree
+// edges to parts. H_i is the set of tree edges assigned to part i; part i
+// communicates on G[P_i] + H_i.
+type Shortcut struct {
+	t *tree.Tree
+	p *partition.Partition
+	// edgeParts[e] lists the parts whose H_i contains tree edge e, sorted
+	// ascending. nil for unassigned and non-tree edges.
+	edgeParts [][]int
+}
+
+// NewShortcut returns an empty shortcut (every H_i = ∅) over tree t and
+// partition p.
+func NewShortcut(t *tree.Tree, p *partition.Partition) *Shortcut {
+	return &Shortcut{
+		t:         t,
+		p:         p,
+		edgeParts: make([][]int, t.Graph().NumEdges()),
+	}
+}
+
+// Tree returns the spanning tree the shortcut is restricted to.
+func (s *Shortcut) Tree() *tree.Tree { return s.t }
+
+// Partition returns the parts the shortcut serves.
+func (s *Shortcut) Partition() *partition.Partition { return s.p }
+
+// Assign adds tree edge e to H_i. It panics if e is not a tree edge or i is
+// not a valid part (programmer errors in construction code).
+func (s *Shortcut) Assign(e graph.EdgeID, i int) {
+	if !s.t.IsTreeEdge(e) {
+		panic(fmt.Sprintf("core: edge %d is not a tree edge", e))
+	}
+	if i < 0 || i >= s.p.NumParts() {
+		panic(fmt.Sprintf("core: part %d out of range [0,%d)", i, s.p.NumParts()))
+	}
+	s.edgeParts[e] = insertSorted(s.edgeParts[e], i)
+}
+
+// SetParts replaces the full part list of tree edge e (callers pass a sorted
+// deduplicated list; the slice is adopted, not copied).
+func (s *Shortcut) SetParts(e graph.EdgeID, parts []int) {
+	if !s.t.IsTreeEdge(e) {
+		panic(fmt.Sprintf("core: edge %d is not a tree edge", e))
+	}
+	s.edgeParts[e] = parts
+}
+
+// PartsOn returns the sorted part list using tree edge e. The slice is owned
+// by the shortcut.
+func (s *Shortcut) PartsOn(e graph.EdgeID) []int { return s.edgeParts[e] }
+
+// Contains reports whether tree edge e belongs to H_i.
+func (s *Shortcut) Contains(e graph.EdgeID, i int) bool {
+	list := s.edgeParts[e]
+	k := sort.SearchInts(list, i)
+	return k < len(list) && list[k] == i
+}
+
+// EdgesOf returns H_i as a slice of tree-edge IDs.
+func (s *Shortcut) EdgesOf(i int) []graph.EdgeID {
+	var out []graph.EdgeID
+	for e, parts := range s.edgeParts {
+		if len(parts) > 0 && s.Contains(e, i) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Congestion returns the exact congestion of the shortcut per Definition 1:
+// the maximum over edges e of the number of communication subgraphs
+// G[P_i] + H_i containing e. An edge interior to part j counts for subgraph j
+// even when e ∉ H_j; a shortcut-only assignment counts once per part.
+func (s *Shortcut) Congestion() int {
+	g := s.t.Graph()
+	maxC := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		c := len(s.edgeParts[e])
+		ed := g.Edge(e)
+		if pu := s.p.Part(ed.U); pu != partition.None && pu == s.p.Part(ed.V) && !s.Contains(e, pu) {
+			c++ // induced part edge not already counted via H_i
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
+}
+
+// ShortcutCongestion returns the congestion counting only shortcut
+// assignments (|{i : e ∈ H_i}|), the quantity the construction algorithms
+// bound directly.
+func (s *Shortcut) ShortcutCongestion() int {
+	maxC := 0
+	for _, parts := range s.edgeParts {
+		if len(parts) > maxC {
+			maxC = len(parts)
+		}
+	}
+	return maxC
+}
+
+// Block is one block component of some H_i (Definition 3): a connected
+// component of the spanning subgraph (V, H_i) that intersects P_i. Root is
+// its shallowest vertex (each component of a set of tree edges is a subtree
+// of T, so the root is unique).
+type Block struct {
+	Root  graph.NodeID
+	Nodes []graph.NodeID // all vertices of the component, Steiner vertices included
+}
+
+// Blocks returns the block components of part i, sorted by (root depth, root
+// ID) — the priority order Lemma 2 routing uses. Isolated vertices of P_i
+// (no incident H_i edge) form singleton blocks.
+func (s *Shortcut) Blocks(i int) []Block {
+	// Collect H_i's vertices and union its edges.
+	g := s.t.Graph()
+	local := make(map[graph.NodeID]int)
+	var verts []graph.NodeID
+	idx := func(v graph.NodeID) int {
+		if k, ok := local[v]; ok {
+			return k
+		}
+		k := len(verts)
+		local[v] = k
+		verts = append(verts, v)
+		return k
+	}
+	var edges [][2]int
+	for e, parts := range s.edgeParts {
+		if len(parts) > 0 && s.Contains(e, i) {
+			ed := g.Edge(e)
+			edges = append(edges, [2]int{idx(ed.U), idx(ed.V)})
+		}
+	}
+	// Isolated P_i vertices join as singletons.
+	for _, v := range s.p.Nodes(i) {
+		idx(v)
+	}
+	uf := graph.NewUnionFind(len(verts))
+	for _, e := range edges {
+		uf.Union(e[0], e[1])
+	}
+	inPart := make(map[int]bool) // component rep -> intersects P_i
+	for _, v := range s.p.Nodes(i) {
+		inPart[uf.Find(local[v])] = true
+	}
+	byRep := make(map[int]*Block)
+	for k, v := range verts {
+		rep := uf.Find(k)
+		if !inPart[rep] {
+			continue
+		}
+		blk := byRep[rep]
+		if blk == nil {
+			blk = &Block{Root: v}
+			byRep[rep] = blk
+		}
+		blk.Nodes = append(blk.Nodes, v)
+		if s.t.Depth(v) < s.t.Depth(blk.Root) || (s.t.Depth(v) == s.t.Depth(blk.Root) && v < blk.Root) {
+			blk.Root = v
+		}
+	}
+	out := make([]Block, 0, len(byRep))
+	for _, blk := range byRep {
+		sort.Ints(blk.Nodes)
+		out = append(out, *blk)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		da, db := s.t.Depth(out[a].Root), s.t.Depth(out[b].Root)
+		if da != db {
+			return da < db
+		}
+		return out[a].Root < out[b].Root
+	})
+	return out
+}
+
+// BlockCount returns the number of block components of part i.
+func (s *Shortcut) BlockCount(i int) int { return len(s.Blocks(i)) }
+
+// BlockParameter returns the block parameter b of the shortcut: the maximum
+// block count over all parts.
+func (s *Shortcut) BlockParameter() int {
+	maxB := 0
+	for i := 0; i < s.p.NumParts(); i++ {
+		if c := s.BlockCount(i); c > maxB {
+			maxB = c
+		}
+	}
+	return maxB
+}
+
+// PartDiameter returns the exact diameter of the communication subgraph
+// G[P_i] + H_i (vertices: P_i plus all H_i endpoints; edges: G's edges
+// interior to P_i plus H_i). Returns graph.Unreached if disconnected, which
+// cannot happen for a valid shortcut over a connected part.
+func (s *Shortcut) PartDiameter(i int) int {
+	adj, verts := s.partAdjacency(i)
+	if len(verts) == 0 {
+		return graph.Unreached
+	}
+	diam := 0
+	for src := range adj {
+		dist := bfsLocal(adj, src)
+		for _, d := range dist {
+			if d == graph.Unreached {
+				return graph.Unreached
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam
+}
+
+// Dilation returns the exact dilation: the maximum PartDiameter over all
+// parts.
+func (s *Shortcut) Dilation() int {
+	maxD := 0
+	for i := 0; i < s.p.NumParts(); i++ {
+		if d := s.PartDiameter(i); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// partAdjacency builds the local adjacency of G[P_i]+H_i with dense local
+// vertex indices.
+func (s *Shortcut) partAdjacency(i int) ([][]int, []graph.NodeID) {
+	g := s.t.Graph()
+	local := make(map[graph.NodeID]int)
+	var verts []graph.NodeID
+	idx := func(v graph.NodeID) int {
+		if k, ok := local[v]; ok {
+			return k
+		}
+		k := len(verts)
+		local[v] = k
+		verts = append(verts, v)
+		return k
+	}
+	for _, v := range s.p.Nodes(i) {
+		idx(v)
+	}
+	type pair struct{ a, b int }
+	seen := make(map[pair]bool)
+	var adjPairs []pair
+	addEdge := func(u, v graph.NodeID) {
+		a, b := idx(u), idx(v)
+		if a > b {
+			a, b = b, a
+		}
+		key := pair{a, b}
+		if !seen[key] {
+			seen[key] = true
+			adjPairs = append(adjPairs, key)
+		}
+	}
+	for _, v := range s.p.Nodes(i) {
+		for _, a := range g.Adj(v) {
+			if s.p.Part(a.To) == i && a.To > v {
+				addEdge(v, a.To)
+			}
+		}
+	}
+	for e, parts := range s.edgeParts {
+		if len(parts) > 0 && s.Contains(e, i) {
+			ed := g.Edge(e)
+			addEdge(ed.U, ed.V)
+		}
+	}
+	adj := make([][]int, len(verts))
+	for _, pr := range adjPairs {
+		adj[pr.a] = append(adj[pr.a], pr.b)
+		adj[pr.b] = append(adj[pr.b], pr.a)
+	}
+	return adj, verts
+}
+
+func bfsLocal(adj [][]int, src int) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = graph.Unreached
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, w := range adj[v] {
+			if dist[w] == graph.Unreached {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Validate checks structural invariants: only tree edges are assigned, and
+// every part index on every edge is valid.
+func (s *Shortcut) Validate() error {
+	for e, parts := range s.edgeParts {
+		if len(parts) == 0 {
+			continue
+		}
+		if !s.t.IsTreeEdge(e) {
+			return fmt.Errorf("core: non-tree edge %d assigned to %d parts", e, len(parts))
+		}
+		for k, p := range parts {
+			if p < 0 || p >= s.p.NumParts() {
+				return fmt.Errorf("core: edge %d assigned invalid part %d", e, p)
+			}
+			if k > 0 && parts[k-1] >= p {
+				return fmt.Errorf("core: edge %d part list not sorted/unique", e)
+			}
+		}
+	}
+	return nil
+}
+
+// Quality bundles the three quality measures for experiment tables.
+type Quality struct {
+	Congestion     int
+	BlockParameter int
+	Dilation       int
+}
+
+// Measure computes all quality parameters (exact; costs several BFS runs per
+// part).
+func (s *Shortcut) Measure() Quality {
+	return Quality{
+		Congestion:     s.Congestion(),
+		BlockParameter: s.BlockParameter(),
+		Dilation:       s.Dilation(),
+	}
+}
+
+func insertSorted(list []int, x int) []int {
+	k := sort.SearchInts(list, x)
+	if k < len(list) && list[k] == x {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[k+1:], list[k:])
+	list[k] = x
+	return list
+}

@@ -1,0 +1,12 @@
+package coredist
+
+import "lcshortcut/internal/graph"
+
+// PartAssign maps vertices to part IDs (partition.None for uncovered
+// vertices). partition.Partition satisfies it; the MST application supplies
+// its own dynamic fragment assignment whose IDs are leader node IDs rather
+// than dense indices — the protocols only compare IDs, so any int namespace
+// works.
+type PartAssign interface {
+	Part(v graph.NodeID) int
+}

@@ -1,0 +1,125 @@
+// Package coredist implements the paper's construction algorithms as real
+// CONGEST protocols on the simulator: CoreSlow (Algorithm 1, §5.3), CoreFast
+// (Algorithm 2, §5.4), the Verification subroutine (§5.5, via package
+// partops) and the FindShortcut framework (Theorem 3) with the Appendix A
+// doubling driver.
+//
+// Every protocol ends with the distributed shortcut representation of §4.1:
+// each node knows, for each of its incident tree edges, the set of part IDs
+// routed over that edge and whether the edge is usable. The package also
+// provides converters/checkers lifting that per-node state into a
+// core.Shortcut so tests can assert exact equivalence with the centralized
+// reference algorithms.
+package coredist
+
+import (
+	"fmt"
+	"sort"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+// NodeShortcut is one node's view of a computed T-restricted shortcut
+// (the distributed representation of §4.1).
+type NodeShortcut struct {
+	// Info is the node's BFS phase output (tree structure + globals).
+	Info *bfsproto.Info
+	// ParentUsable reports whether the parent edge survived the core
+	// subroutine (false at the root, where there is no parent edge).
+	ParentUsable bool
+	// ParentParts lists, sorted, the parts whose H_i contains the parent
+	// edge.
+	ParentParts []int
+	// ChildParts maps each tree child to the sorted parts on that edge.
+	ChildParts map[graph.NodeID][]int
+	// ChildUsable maps each tree child to that edge's usability.
+	ChildUsable map[graph.NodeID]bool
+}
+
+func newNodeShortcut(info *bfsproto.Info) *NodeShortcut {
+	return &NodeShortcut{
+		Info:        info,
+		ChildParts:  make(map[graph.NodeID][]int, len(info.Children)),
+		ChildUsable: make(map[graph.NodeID]bool, len(info.Children)),
+	}
+}
+
+// ToShortcut lifts per-node distributed state into a centralized
+// core.Shortcut (edge part lists read from each edge's child endpoint), for
+// verification against reference implementations. It also cross-checks that
+// the two endpoints of every tree edge agree on the edge's part list.
+func ToShortcut(g *graph.Graph, p *partition.Partition, states []*NodeShortcut) (*core.Shortcut, *tree.Tree, error) {
+	root := graph.NodeID(-1)
+	parents := make([]graph.NodeID, g.NumNodes())
+	for v, ns := range states {
+		if ns == nil {
+			return nil, nil, fmt.Errorf("coredist: node %d has no state", v)
+		}
+		parents[v] = ns.Info.Parent
+		if ns.Info.Parent == -1 {
+			root = v
+		}
+	}
+	if root == -1 {
+		return nil, nil, fmt.Errorf("coredist: no root found")
+	}
+	tr, err := tree.FromParents(g, root, parents)
+	if err != nil {
+		return nil, nil, fmt.Errorf("coredist: invalid tree: %w", err)
+	}
+	s := core.NewShortcut(tr, p)
+	for v, ns := range states {
+		if v == root {
+			continue
+		}
+		par := states[ns.Info.Parent]
+		fromParent, ok := par.ChildParts[v]
+		if !ok && len(ns.ParentParts) > 0 {
+			return nil, nil, fmt.Errorf("coredist: parent of %d lost its child part list", v)
+		}
+		if !equalInts(ns.ParentParts, fromParent) {
+			return nil, nil, fmt.Errorf("coredist: edge (%d,%d) endpoint disagreement: child %v, parent %v",
+				v, ns.Info.Parent, ns.ParentParts, fromParent)
+		}
+		if pu, ok := par.ChildUsable[v]; ok && pu != ns.ParentUsable {
+			return nil, nil, fmt.Errorf("coredist: edge (%d,%d) usability disagreement", v, ns.Info.Parent)
+		}
+		if len(ns.ParentParts) > 0 {
+			if !ns.ParentUsable {
+				return nil, nil, fmt.Errorf("coredist: node %d has parts on an unusable parent edge", v)
+			}
+			cp := make([]int, len(ns.ParentParts))
+			copy(cp, ns.ParentParts)
+			s.SetParts(tr.ParentEdge(v), cp)
+		}
+	}
+	return s, tr, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedInsert inserts x into sorted unique slice list.
+func sortedInsert(list []int, x int) []int {
+	k := sort.SearchInts(list, x)
+	if k < len(list) && list[k] == x {
+		return list
+	}
+	list = append(list, 0)
+	copy(list[k+1:], list[k:])
+	list[k] = x
+	return list
+}

@@ -1,0 +1,20 @@
+package experiments
+
+import "testing"
+
+func TestAllExperimentsSmoke(t *testing.T) {
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range tables {
+		t.Log("\n" + tbl.Format())
+		for _, row := range tbl.Rows {
+			for _, c := range row {
+				if c == "NO" {
+					t.Errorf("%s: bound violated in row %v", tbl.ID, row)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package findshort
+
+import (
+	"testing"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/coredist"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+type instance struct {
+	name string
+	g    *graph.Graph
+	p    *partition.Partition
+}
+
+func testInstances(tb testing.TB) []instance {
+	tb.Helper()
+	out := []instance{
+		{"grid8x8/columns", gen.Grid(8, 8), partition.GridColumns(8, 8)},
+		{"grid10x10/voronoi7", gen.Grid(10, 10), partition.Voronoi(gen.Grid(10, 10), 7, 1)},
+		{"grid12x12/snake3", gen.Grid(12, 12), partition.GridSnake(12, 12, 3)},
+		{"torus7x7/voronoi5", gen.Torus(7, 7), partition.Voronoi(gen.Torus(7, 7), 5, 2)},
+		{"tree40/voronoi6", gen.RandomTree(40, 4), partition.Voronoi(gen.RandomTree(40, 4), 6, 5)},
+		{"grid6x6/whole", gen.Grid(6, 6), partition.Whole(36)},
+	}
+	lb := gen.LowerBound(4, 6)
+	plb, err := partition.FromParts(lb.NumNodes(), gen.LowerBoundPaths(4, 6))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out = append(out, instance{"lowerbound4x6/paths", lb, plb})
+	return out
+}
+
+// protocolTree returns the BFS tree the protocol will deterministically build
+// from root 0, so centralized references can replay on the same tree.
+func protocolTree(tb testing.TB, g *graph.Graph) *tree.Tree {
+	tb.Helper()
+	infos, _, err := bfsproto.Run(g, 0, 7, congest.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	parents := make([]graph.NodeID, g.NumNodes())
+	for v, info := range infos {
+		parents[v] = info.Parent
+	}
+	tr, err := tree.FromParents(g, 0, parents)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tr
+}
+
+// lift converts per-node results into a core.Shortcut.
+func lift(tb testing.TB, g *graph.Graph, p *partition.Partition, results []*Result) *core.Shortcut {
+	tb.Helper()
+	states := make([]*coredist.NodeShortcut, len(results))
+	for v, r := range results {
+		states[v] = r.NS
+	}
+	s, _, err := coredist.ToShortcut(g, p, states)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+func sameShortcut(tb testing.TB, got, want *core.Shortcut, g *graph.Graph) {
+	tb.Helper()
+	for e := 0; e < g.NumEdges(); e++ {
+		gp, wp := got.PartsOn(e), want.PartsOn(e)
+		if len(gp) != len(wp) {
+			tb.Fatalf("edge %d: got %v, want %v", e, gp, wp)
+		}
+		for k := range gp {
+			if gp[k] != wp[k] {
+				tb.Fatalf("edge %d: got %v, want %v", e, gp, wp)
+			}
+		}
+	}
+}
+
+func TestFindShortcutMatchesCentralized(t *testing.T) {
+	for _, in := range testInstances(t) {
+		for _, slow := range []bool{true, false} {
+			name := in.name + "/fast"
+			if slow {
+				name = in.name + "/slow"
+			}
+			t.Run(name, func(t *testing.T) {
+				tr := protocolTree(t, in.g)
+				cStar := core.WitnessCongestion(tr, in.p)
+				cfg := Config{C: cStar, B: 1, Seed: 7, UseSlow: slow}
+				results, _, ok, err := Run(in.g, in.p, 0, cfg, congest.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatal("FindShortcut reported failure with the witness parameters")
+				}
+				got := lift(t, in.g, in.p, results)
+				want, err := core.FindShortcut(tr, in.p, core.FindConfig{C: cStar, B: 1, Seed: 7, UseSlow: slow})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameShortcut(t, got, want.S, in.g)
+				// Iteration counts must agree too.
+				if results[0].Iterations != want.Iterations {
+					t.Errorf("iterations %d, central %d", results[0].Iterations, want.Iterations)
+				}
+			})
+		}
+	}
+}
+
+func TestFindShortcutQuality(t *testing.T) {
+	for _, in := range testInstances(t) {
+		t.Run(in.name, func(t *testing.T) {
+			tr := protocolTree(t, in.g)
+			cStar := core.WitnessCongestion(tr, in.p)
+			results, _, ok, err := Run(in.g, in.p, 0, Config{C: cStar, B: 1, Seed: 3}, congest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatal("failed with witness parameters")
+			}
+			s := lift(t, in.g, in.p, results)
+			if b := s.BlockParameter(); b > 3 {
+				t.Errorf("block parameter %d > 3b = 3", b)
+			}
+			iters := results[0].Iterations
+			if got := s.ShortcutCongestion(); got > 8*cStar*iters {
+				t.Errorf("congestion %d > 8c·%d iterations", got, iters)
+			}
+			// Every covered node fixed, within the iteration horizon.
+			for v, r := range results {
+				if in.p.Part(v) != partition.None && (!r.Fixed || r.FixedAt < 0 || r.FixedAt >= iters) {
+					t.Fatalf("node %d: Fixed=%v FixedAt=%d iters=%d", v, r.Fixed, r.FixedAt, iters)
+				}
+			}
+		})
+	}
+}
+
+func TestFindShortcutFailureSignal(t *testing.T) {
+	// (C, B) = (1, 1) on the snake partition cannot finish — with c = 1 the
+	// cross-band tree edges go unusable and the snakes shatter into more
+	// than 3 blocks, deterministically, every iteration. Every node must
+	// report ok=false (and no error), matching the centralized failure.
+	g := gen.Grid(12, 12)
+	p := partition.GridSnake(12, 12, 3)
+	tr := protocolTree(t, g)
+	if _, cerr := core.FindShortcut(tr, p, core.FindConfig{C: 1, B: 1, Seed: 1, UseSlow: true, MaxIterations: 5}); cerr == nil {
+		t.Fatal("instance unexpectedly feasible centrally; pick a harder one")
+	}
+	_, _, ok, err := Run(g, p, 0, Config{C: 1, B: 1, Seed: 1, UseSlow: true, MaxIterations: 5}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("expected failure signal")
+	}
+}
+
+func TestAutoPhaseMatchesCentralized(t *testing.T) {
+	for _, in := range testInstances(t)[:4] {
+		t.Run(in.name, func(t *testing.T) {
+			tr := protocolTree(t, in.g)
+			results := make([]*AutoResult, in.g.NumNodes())
+			_, err := congest.Run(in.g, func(ctx *congest.Ctx) error {
+				info, err := bfsproto.Phase(ctx, 0, 21)
+				if err != nil {
+					return err
+				}
+				ar, err := AutoPhase(ctx, info, in.p, in.p.NumParts(), 21, true)
+				if err != nil {
+					return err
+				}
+				results[ctx.ID()] = ar
+				return nil
+			}, congest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.FindShortcutAuto(tr, in.p, 21, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if results[0].Est != want.EstC || results[0].Probes != want.Probes {
+				t.Errorf("doubling settled at est=%d probes=%d, central est=%d probes=%d",
+					results[0].Est, results[0].Probes, want.EstC, want.Probes)
+			}
+			states := make([]*coredist.NodeShortcut, len(results))
+			for v, r := range results {
+				states[v] = r.NS
+			}
+			got, _, err := coredist.ToShortcut(in.g, in.p, states)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameShortcut(t, got, want.S, in.g)
+		})
+	}
+}
+
+func TestFindShortcutRoundComplexity(t *testing.T) {
+	// Theorem 3: O(D log n log N + bD log N + bc log N) rounds. We check the
+	// concrete accounting stays within a generous constant multiple.
+	g := gen.Grid(12, 12)
+	p := partition.Voronoi(g, 9, 2)
+	tr := protocolTree(t, g)
+	cStar := core.WitnessCongestion(tr, p)
+	results, stats, ok, err := Run(g, p, 0, Config{C: cStar, B: 1, Seed: 5}, congest.Options{})
+	if err != nil || !ok {
+		t.Fatalf("run failed: ok=%v err=%v", ok, err)
+	}
+	d := tr.Height()
+	iters := results[0].Iterations
+	// Per iteration: CoreFast O(D log n + c) + verification O(b(D+8c·logN)).
+	// Congestion inside verification is bounded by the tentative shortcut's
+	// 8c, so a generous per-iteration budget:
+	perIter := 40*(d+2)*congest.BitsForID(g.NumNodes()) + 40*(d+8*cStar+10) + 30*3*(d+8*cStar+10)
+	if stats.Rounds > iters*perIter+10*(d+1) {
+		t.Errorf("rounds %d exceed budget %d (D=%d c=%d iters=%d)", stats.Rounds, iters*perIter+10*(d+1), d, cStar, iters)
+	}
+}

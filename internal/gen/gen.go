@@ -1,0 +1,341 @@
+// Package gen provides deterministic graph generators for every topology
+// family used in the paper's analysis and in this repository's experiments:
+// planar grids, genus-g tori and handled grids, random planar-style
+// triangulations, trees, the Peleg–Rubinovich style lower-bound graph, and
+// assorted pathological families (lollipops, caterpillars, bounded
+// pathwidth).
+//
+// All generators are deterministic given their arguments (and seed, when they
+// take one), produce connected simple graphs, and set every edge weight to 1;
+// use WithRandomWeights or WithUniqueWeights to re-weight for MST workloads.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lcshortcut/internal/graph"
+)
+
+// GridIndexer maps (x, y) coordinates of a W×H grid to the NodeIDs produced
+// by Grid, Torus and HandledGrid.
+type GridIndexer struct {
+	W, H int
+}
+
+// Node returns the NodeID at column x, row y.
+func (gi GridIndexer) Node(x, y int) graph.NodeID { return y*gi.W + x }
+
+// Coords returns the (x, y) position of a NodeID.
+func (gi GridIndexer) Coords(v graph.NodeID) (x, y int) { return v % gi.W, v / gi.W }
+
+// Grid returns the W×H planar grid graph (genus 0). Node (x, y) is adjacent
+// to (x±1, y) and (x, y±1).
+func Grid(w, h int) *graph.Graph {
+	g := graph.New(w * h)
+	gi := GridIndexer{W: w, H: h}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.MustAddEdge(gi.Node(x, y), gi.Node(x+1, y), 1)
+			}
+			if y+1 < h {
+				g.MustAddEdge(gi.Node(x, y), gi.Node(x, y+1), 1)
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the W×H toroidal grid (genus 1 when w, h ≥ 3): a grid with
+// horizontal and vertical wraparound edges.
+func Torus(w, h int) *graph.Graph {
+	if w < 3 || h < 3 {
+		panic(fmt.Sprintf("gen: torus needs w,h >= 3, got %dx%d", w, h))
+	}
+	g := graph.New(w * h)
+	gi := GridIndexer{W: w, H: h}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.MustAddEdge(gi.Node(x, y), gi.Node((x+1)%w, y), 1)
+			g.MustAddEdge(gi.Node(x, y), gi.Node(x, (y+1)%h), 1)
+		}
+	}
+	return g
+}
+
+// HandledGrid returns a W×H grid with `handles` extra long-range edges, each
+// connecting mirrored border vertices. Adding k edges to a planar graph
+// yields a graph of genus at most k, so the result has genus ≤ handles; this
+// is the controlled genus-g family used by the E5 experiment.
+func HandledGrid(w, h, handles int) *graph.Graph {
+	g := Grid(w, h)
+	gi := GridIndexer{W: w, H: h}
+	added := 0
+	for i := 0; added < handles; i++ {
+		// Connect left-border row r to right-border row (h-1-r), spreading the
+		// attachment rows over the border.
+		r := (i * (h / (handles + 1))) % h
+		u, v := gi.Node(0, r), gi.Node(w-1, h-1-r)
+		if u == v {
+			r = (r + 1) % h
+			u, v = gi.Node(0, r), gi.Node(w-1, h-1-r)
+		}
+		if _, err := g.AddEdge(u, v, 1); err == nil {
+			added++
+			continue
+		}
+		// Fall back to the next row pair when a duplicate shows up.
+		for r2 := 0; r2 < h; r2++ {
+			u, v = gi.Node(0, r2), gi.Node(w-1, (h-1-r2+i)%h)
+			if u != v {
+				if _, err := g.AddEdge(u, v, 1); err == nil {
+					added++
+					break
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Path returns the path graph on n vertices (0-1-2-...-(n-1)).
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// Ring returns the cycle graph on n ≥ 3 vertices.
+func Ring(n int) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: ring needs n >= 3, got %d", n))
+	}
+	g := Path(n)
+	g.MustAddEdge(n-1, 0, 1)
+	return g
+}
+
+// Star returns the star graph: center 0 connected to 1..n-1.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i, 1)
+	}
+	return g
+}
+
+// CompleteBinaryTree returns the complete binary tree of the given depth
+// (depth 0 is a single root). Node i has children 2i+1 and 2i+2.
+func CompleteBinaryTree(depth int) *graph.Graph {
+	n := (1 << (depth + 1)) - 1
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, (i-1)/2, 1)
+	}
+	return g
+}
+
+// RandomTree returns a uniformly-attached random tree on n vertices: vertex i
+// attaches to a uniformly random earlier vertex.
+func RandomTree(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, rng.Intn(i), 1)
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar: a spine path of the given length with
+// legs pendant vertices attached to every spine vertex.
+func Caterpillar(spine, legs int) *graph.Graph {
+	g := graph.New(spine * (1 + legs))
+	for i := 0; i+1 < spine; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			g.MustAddEdge(i, next, 1)
+			next++
+		}
+	}
+	return g
+}
+
+// Lollipop returns a clique of cliqueSize vertices with a path of pathLen
+// vertices hanging off vertex 0. Its diameter is pathLen+1 while the clique
+// part has diameter 1 — a stress case for per-part diameters.
+func Lollipop(cliqueSize, pathLen int) *graph.Graph {
+	g := graph.New(cliqueSize + pathLen)
+	for i := 0; i < cliqueSize; i++ {
+		for j := i + 1; j < cliqueSize; j++ {
+			g.MustAddEdge(i, j, 1)
+		}
+	}
+	prev := 0
+	for i := 0; i < pathLen; i++ {
+		g.MustAddEdge(prev, cliqueSize+i, 1)
+		prev = cliqueSize + i
+	}
+	return g
+}
+
+// ErdosRenyi returns a connected G(n, p)-style random graph: a random tree
+// backbone (guaranteeing connectivity) plus each remaining pair independently
+// with probability p.
+func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i, rng.Intn(i), 1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v, 1) //nolint:errcheck // duplicate backbone edges are fine
+			}
+		}
+	}
+	return g
+}
+
+// OuterplanarTriangulation returns a random maximal outerplanar graph
+// (hence planar) on n ≥ 3 vertices: the cycle 0..n-1 plus a random
+// triangulation of its interior, built by recursive fan splits. It has
+// exactly 2n-3 edges.
+func OuterplanarTriangulation(n int, seed int64) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: triangulation needs n >= 3, got %d", n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := Ring(n)
+	var split func(lo, hi int)
+	split = func(lo, hi int) {
+		if hi-lo < 2 {
+			return
+		}
+		mid := lo + 1 + rng.Intn(hi-lo-1)
+		if mid-lo >= 2 {
+			g.MustAddEdge(lo, mid, 1)
+		}
+		if hi-mid >= 2 {
+			g.MustAddEdge(mid, hi, 1)
+		}
+		split(lo, mid)
+		split(mid, hi)
+	}
+	split(0, n-1)
+	return g
+}
+
+// PathPower returns the k-th power of a path on n vertices: i~j iff
+// 0 < |i-j| ≤ k. Its pathwidth is exactly k, making it the controlled
+// bounded-pathwidth family mentioned in the paper's Section 1.3.
+func PathPower(n, k int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k && i+d < n; d++ {
+			g.MustAddEdge(i, i+d, 1)
+		}
+	}
+	return g
+}
+
+// LowerBound returns the Peleg–Rubinovich style hard instance behind the
+// Ω̃(√n + D) lower bound: numPaths horizontal paths of pathLen vertices each,
+// plus a balanced binary-tree "highway" over the pathLen columns whose leaf j
+// is connected to the j-th vertex of every path. Taking the paths as parts,
+// any low-dilation shortcut must route through the highway whose root edges
+// see every part — forcing congestion ≈ numPaths — while avoiding the highway
+// forces dilation ≈ pathLen.
+//
+// Node layout: path vertices occupy [0, numPaths*pathLen) row-major; the
+// highway tree occupies the remaining IDs with its root first.
+func LowerBound(numPaths, pathLen int) *graph.Graph {
+	if numPaths < 1 || pathLen < 2 {
+		panic(fmt.Sprintf("gen: lower bound graph needs numPaths >= 1, pathLen >= 2, got %d,%d", numPaths, pathLen))
+	}
+	// Round the number of highway leaves up to a power of two ≥ pathLen.
+	leaves := 1
+	for leaves < pathLen {
+		leaves *= 2
+	}
+	treeN := 2*leaves - 1
+	base := numPaths * pathLen
+	g := graph.New(base + treeN)
+	pathNode := func(p, j int) graph.NodeID { return p*pathLen + j }
+	treeNode := func(i int) graph.NodeID { return base + i } // heap-indexed
+	for p := 0; p < numPaths; p++ {
+		for j := 0; j+1 < pathLen; j++ {
+			g.MustAddEdge(pathNode(p, j), pathNode(p, j+1), 1)
+		}
+	}
+	for i := 1; i < treeN; i++ {
+		g.MustAddEdge(treeNode(i), treeNode((i-1)/2), 1)
+	}
+	for j := 0; j < pathLen; j++ {
+		leaf := treeNode(leaves - 1 + j)
+		for p := 0; p < numPaths; p++ {
+			g.MustAddEdge(leaf, pathNode(p, j), 1)
+		}
+	}
+	return g
+}
+
+// LowerBoundPaths returns the part decomposition of a LowerBound graph (one
+// part per horizontal path).
+func LowerBoundPaths(numPaths, pathLen int) [][]graph.NodeID {
+	parts := make([][]graph.NodeID, numPaths)
+	for p := 0; p < numPaths; p++ {
+		part := make([]graph.NodeID, pathLen)
+		for j := 0; j < pathLen; j++ {
+			part[j] = p*pathLen + j
+		}
+		parts[p] = part
+	}
+	return parts
+}
+
+// RingOfCliques returns k cliques of size s whose vertex 0s are joined in a
+// ring. Diameter ≈ k/2 + 2 while every clique is dense.
+func RingOfCliques(k, s int) *graph.Graph {
+	if k < 3 || s < 1 {
+		panic(fmt.Sprintf("gen: ring of cliques needs k >= 3, s >= 1, got %d,%d", k, s))
+	}
+	g := graph.New(k * s)
+	for c := 0; c < k; c++ {
+		off := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				g.MustAddEdge(off+i, off+j, 1)
+			}
+		}
+		g.MustAddEdge(off, ((c+1)%k)*s, 1)
+	}
+	return g
+}
+
+// WithRandomWeights assigns each edge an independent uniform weight in
+// [1, maxW] drawn from the seeded generator and returns g for chaining.
+func WithRandomWeights(g *graph.Graph, seed int64, maxW int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	for id := 0; id < g.NumEdges(); id++ {
+		g.SetWeight(id, 1+rng.Int63n(maxW))
+	}
+	return g
+}
+
+// WithUniqueWeights assigns each edge a distinct weight (a random permutation
+// of 1..NumEdges), guaranteeing a unique MST. Returns g for chaining.
+func WithUniqueWeights(g *graph.Graph, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(g.NumEdges())
+	for id := 0; id < g.NumEdges(); id++ {
+		g.SetWeight(id, int64(perm[id])+1)
+	}
+	return g
+}

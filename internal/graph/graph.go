@@ -1,0 +1,156 @@
+// Package graph provides the static undirected-graph substrate used by every
+// other package in this repository: adjacency storage, weighted edges,
+// traversals, connectivity queries and diameter computation.
+//
+// Graphs are node-indexed from 0 to NumNodes-1 and edge-indexed from 0 to
+// NumEdges-1. Both indices are stable across the life of a Graph, which lets
+// the CONGEST simulator, spanning trees and shortcuts all refer to edges by
+// their integer ID.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a vertex of a Graph. Vertices are dense integers in
+// [0, NumNodes).
+type NodeID = int
+
+// EdgeID identifies an undirected edge of a Graph. Edges are dense integers
+// in [0, NumEdges).
+type EdgeID = int
+
+// Edge is an undirected weighted edge between U and V.
+type Edge struct {
+	U, V NodeID
+	W    int64
+}
+
+// Arc is one direction of an undirected edge as seen from a vertex's
+// adjacency list: the neighbor it leads to and the ID of the underlying edge.
+type Arc struct {
+	To   NodeID
+	Edge EdgeID
+}
+
+// Graph is a simple undirected graph (no self loops, no parallel edges) with
+// int64 edge weights. The zero value is not usable; construct with New.
+type Graph struct {
+	adj   [][]Arc
+	edges []Edge
+	seen  map[[2]NodeID]EdgeID
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{
+		adj:  make([][]Arc, n),
+		seen: make(map[[2]NodeID]EdgeID, n),
+	}
+}
+
+// ErrBadEdge is returned by AddEdge for self loops, duplicate edges, and
+// endpoints outside [0, NumNodes).
+var ErrBadEdge = errors.New("graph: invalid edge")
+
+func edgeKey(u, v NodeID) [2]NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]NodeID{u, v}
+}
+
+// AddEdge inserts the undirected edge {u, v} with weight w and returns its
+// EdgeID. It rejects self loops, out-of-range endpoints and duplicates.
+func (g *Graph) AddEdge(u, v NodeID, w int64) (EdgeID, error) {
+	switch {
+	case u == v:
+		return 0, fmt.Errorf("%w: self loop at %d", ErrBadEdge, u)
+	case u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj):
+		return 0, fmt.Errorf("%w: endpoints (%d,%d) out of range [0,%d)", ErrBadEdge, u, v, len(g.adj))
+	}
+	key := edgeKey(u, v)
+	if _, dup := g.seen[key]; dup {
+		return 0, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadEdge, u, v)
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
+	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: id})
+	g.adj[v] = append(g.adj[v], Arc{To: u, Edge: id})
+	g.seen[key] = id
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for statically well-formed construction code (e.g.
+// generators); it panics on the programmer errors AddEdge reports.
+func (g *Graph) MustAddEdge(u, v NodeID, w int64) EdgeID {
+	id, err := g.AddEdge(u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Adj returns the adjacency list of v. The returned slice is owned by the
+// graph and must not be modified.
+func (g *Graph) Adj(v NodeID) []Arc { return g.adj[v] }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Edges returns all edges. The returned slice is owned by the graph and must
+// not be modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// SetWeight replaces the weight of edge id.
+func (g *Graph) SetWeight(id EdgeID, w int64) { g.edges[id].W = w }
+
+// FindEdge returns the ID of edge {u,v} if present.
+func (g *Graph) FindEdge(u, v NodeID) (EdgeID, bool) {
+	id, ok := g.seen[edgeKey(u, v)]
+	return id, ok
+}
+
+// Other returns the endpoint of edge id that is not v. It panics if v is not
+// an endpoint of the edge (a programmer error).
+func (g *Graph) Other(id EdgeID, v NodeID) NodeID {
+	e := g.edges[id]
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d (%d,%d)", v, id, e.U, e.V))
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	out := New(g.NumNodes())
+	for _, e := range g.edges {
+		out.MustAddEdge(e.U, e.V, e.W)
+	}
+	return out
+}
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() int64 {
+	var s int64
+	for _, e := range g.edges {
+		s += e.W
+	}
+	return s
+}

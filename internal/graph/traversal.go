@@ -1,0 +1,165 @@
+package graph
+
+// Unreached marks vertices not reached by a traversal in distance slices.
+const Unreached = -1
+
+// BFS returns the unweighted distance (in hops) from src to every vertex,
+// with Unreached for vertices in other components.
+func (g *Graph) BFS(src NodeID) []int {
+	return g.MultiSourceBFS([]NodeID{src})
+}
+
+// MultiSourceBFS returns, for every vertex, the hop distance to the nearest
+// source, with Unreached for vertices not connected to any source.
+func (g *Graph) MultiSourceBFS(sources []NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	queue := make([]NodeID, 0, g.NumNodes())
+	for _, s := range sources {
+		if dist[s] == Unreached {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range g.adj[v] {
+			if dist[a.To] == Unreached {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSWithin runs a BFS from src restricted to the vertices for which
+// member reports true, and returns hop distances (Unreached outside the
+// reached region). src itself must be a member.
+func (g *Graph) BFSWithin(src NodeID, member func(NodeID) bool) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range g.adj[v] {
+			if dist[a.To] == Unreached && member(a.To) {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// Components labels each vertex with a component index in [0, #components)
+// and returns the labels plus the number of components. Component indices
+// are assigned in order of their smallest vertex.
+func (g *Graph) Components() ([]int, int) {
+	label := make([]int, g.NumNodes())
+	for i := range label {
+		label[i] = Unreached
+	}
+	next := 0
+	queue := make([]NodeID, 0, g.NumNodes())
+	for s := 0; s < g.NumNodes(); s++ {
+		if label[s] != Unreached {
+			continue
+		}
+		label[s] = next
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, a := range g.adj[v] {
+				if label[a.To] == Unreached {
+					label[a.To] = next
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		next++
+	}
+	return label, next
+}
+
+// Connected reports whether g is connected. The empty graph and the
+// single-vertex graph are connected.
+func (g *Graph) Connected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, k := g.Components()
+	return k == 1
+}
+
+// Eccentricity returns the maximum BFS distance from src to any vertex of
+// its component.
+func (g *Graph) Eccentricity(src NodeID) int {
+	ecc := 0
+	for _, d := range g.BFS(src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the exact hop diameter of a connected graph by running a
+// BFS from every vertex. It is O(n·m); use ApproxDiameter for large graphs.
+// For a disconnected graph it returns the largest component-internal
+// eccentricity observed.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// ApproxDiameter returns a lower bound on the diameter that is at least half
+// the true value, computed with a double BFS sweep from src.
+func (g *Graph) ApproxDiameter(src NodeID) int {
+	dist := g.BFS(src)
+	far, farD := src, 0
+	for v, d := range dist {
+		if d > farD {
+			far, farD = v, d
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// SubsetDiameter returns the hop diameter of the subgraph induced by the
+// given vertex set when communication may use only edges with both endpoints
+// in the set. It returns Unreached if the induced subgraph is disconnected
+// or the set is empty.
+func (g *Graph) SubsetDiameter(set []NodeID) int {
+	if len(set) == 0 {
+		return Unreached
+	}
+	member := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		member[v] = true
+	}
+	isMember := func(v NodeID) bool { return member[v] }
+	diam := 0
+	for _, s := range set {
+		dist := g.BFSWithin(s, isMember)
+		for _, v := range set {
+			if dist[v] == Unreached {
+				return Unreached
+			}
+			if dist[v] > diam {
+				diam = dist[v]
+			}
+		}
+	}
+	return diam
+}

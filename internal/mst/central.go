@@ -1,0 +1,100 @@
+// Package mst implements the paper's flagship application (Lemma 4):
+// distributed minimum spanning tree via Boruvka phases with tree-restricted
+// shortcuts, in O(D·polylog) rounds on graphs admitting good shortcuts. It
+// also provides the comparison baselines the experiments need — Boruvka with
+// intra-fragment communication only (the §1.2 pathology: rounds scale with
+// fragment diameter) and Boruvka over the canonical full-ancestor shortcut
+// (no construction cost, congestion c*) — plus a centralized Kruskal
+// verifier.
+//
+// Edge weights are totally ordered by (weight, edge ID), making the MST
+// unique and every algorithm's output comparable edge-for-edge.
+package mst
+
+import (
+	"fmt"
+	"sort"
+
+	"lcshortcut/internal/graph"
+)
+
+// Kruskal computes the unique MST under the (weight, edge ID) order and
+// returns its total weight and membership bitmap. The graph must be
+// connected.
+func Kruskal(g *graph.Graph) (int64, []bool, error) {
+	type we struct {
+		w  int64
+		id graph.EdgeID
+	}
+	edges := make([]we, g.NumEdges())
+	for i := 0; i < g.NumEdges(); i++ {
+		edges[i] = we{w: g.Edge(i).W, id: i}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].w != edges[b].w {
+			return edges[a].w < edges[b].w
+		}
+		return edges[a].id < edges[b].id
+	})
+	uf := graph.NewUnionFind(g.NumNodes())
+	inMST := make([]bool, g.NumEdges())
+	var total int64
+	picked := 0
+	for _, e := range edges {
+		ed := g.Edge(e.id)
+		if uf.Union(ed.U, ed.V) {
+			inMST[e.id] = true
+			total += e.w
+			picked++
+		}
+	}
+	if picked != g.NumNodes()-1 {
+		return 0, nil, fmt.Errorf("mst: graph disconnected (%d of %d MST edges)", picked, g.NumNodes()-1)
+	}
+	return total, inMST, nil
+}
+
+// BoruvkaCentral is a second, independent centralized verifier following the
+// same star-merge-free classical Boruvka contraction.
+func BoruvkaCentral(g *graph.Graph) (int64, []bool, error) {
+	n := g.NumNodes()
+	uf := graph.NewUnionFind(n)
+	inMST := make([]bool, g.NumEdges())
+	var total int64
+	for uf.Sets() > 1 {
+		best := make(map[int]graph.EdgeID)
+		for id := 0; id < g.NumEdges(); id++ {
+			ed := g.Edge(id)
+			ru, rv := uf.Find(ed.U), uf.Find(ed.V)
+			if ru == rv {
+				continue
+			}
+			for _, r := range []int{ru, rv} {
+				cur, ok := best[r]
+				if !ok || lessEdge(g, id, cur) {
+					best[r] = id
+				}
+			}
+		}
+		if len(best) == 0 {
+			return 0, nil, fmt.Errorf("mst: graph disconnected with %d components left", uf.Sets())
+		}
+		for _, id := range best {
+			ed := g.Edge(id)
+			if uf.Union(ed.U, ed.V) {
+				inMST[id] = true
+				total += ed.W
+			}
+		}
+	}
+	return total, inMST, nil
+}
+
+// lessEdge is the unique-MST total order on edges.
+func lessEdge(g *graph.Graph, a, b graph.EdgeID) bool {
+	wa, wb := g.Edge(a).W, g.Edge(b).W
+	if wa != wb {
+		return wa < wb
+	}
+	return a < b
+}

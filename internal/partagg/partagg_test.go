@@ -1,0 +1,92 @@
+package partagg
+
+import (
+	"testing"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/partition"
+)
+
+func TestAggregatesMatchGroundTruth(t *testing.T) {
+	cases := []struct {
+		name string
+		w, h int
+		p    func() *partition.Partition
+	}{
+		{"voronoi", 8, 8, func() *partition.Partition { return partition.Voronoi(gen.Grid(8, 8), 6, 3) }},
+		{"columns", 7, 5, func() *partition.Partition { return partition.GridColumns(7, 5) }},
+		{"snake", 8, 8, func() *partition.Partition { return partition.GridSnake(8, 8, 2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := gen.Grid(tc.w, tc.h)
+			p := tc.p()
+			values := make([]int64, g.NumNodes())
+			for v := range values {
+				values[v] = int64((v*37)%100 + 1)
+			}
+			reports, _, err := Run(g, p, values, 0, Config{Seed: 5}, congest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Ground truth per part.
+			sum := make(map[int]int64)
+			minV := make(map[int]int64)
+			size := make(map[int]int64)
+			for v := range values {
+				i := p.Part(v)
+				if i == partition.None {
+					continue
+				}
+				sum[i] += values[v]
+				size[i]++
+				if m, ok := minV[i]; !ok || values[v] < m {
+					minV[i] = values[v]
+				}
+			}
+			for v, rep := range reports {
+				i := p.Part(v)
+				if i == partition.None {
+					if rep != nil {
+						t.Fatalf("uncovered node %d got a report", v)
+					}
+					continue
+				}
+				if rep == nil {
+					t.Fatalf("covered node %d missing report", v)
+				}
+				if rep.Part != i || rep.Sum != sum[i] || rep.Size != size[i] || rep.Min != minV[i] {
+					t.Fatalf("node %d: report %+v, want part=%d sum=%d size=%d min=%d",
+						v, rep, i, sum[i], size[i], minV[i])
+				}
+			}
+			// Leaders are consistent per part.
+			for i := 0; i < p.NumParts(); i++ {
+				nodes := p.Nodes(i)
+				for _, v := range nodes[1:] {
+					if reports[v].Leader != reports[nodes[0]].Leader {
+						t.Fatalf("part %d: inconsistent leaders", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExplicitWitnessParams(t *testing.T) {
+	g := gen.Grid(6, 6)
+	p := partition.GridColumns(6, 6)
+	values := make([]int64, g.NumNodes())
+	for v := range values {
+		values[v] = int64(v)
+	}
+	// Generous witness: C = n, B = 1 always works.
+	reports, _, err := Run(g, p, values, 0, Config{C: g.NumNodes(), B: 1, Seed: 2}, congest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[0] == nil || reports[0].Size != 6 {
+		t.Fatalf("report = %+v", reports[0])
+	}
+}

@@ -1,0 +1,134 @@
+// Package partops implements routing on tree-restricted shortcuts (§4.3 of
+// the paper): the distributed block-membership representation (§4.1), the
+// block-root annotation pass, the pipelined multi-subtree convergecast and
+// broadcast of Lemma 2, the part-parallel leader election / broadcast /
+// convergecast of Theorem 2, and the block-counting Verification subroutine
+// of Lemmas 3 and 6.
+//
+// All routines are per-node phase functions over the congest simulator: each
+// enters and leaves with every node aligned at the same global round, so they
+// compose sequentially into larger protocols (FindShortcut, MST).
+package partops
+
+import (
+	"fmt"
+	"sort"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/coredist"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+)
+
+// Membership is one node's view of the blocks it belongs to, derived from
+// the distributed shortcut representation. A node belongs to (at most) one
+// block per part: the component of H_i containing it. Vertices of P_i with
+// no incident H_i edge form singleton blocks.
+type Membership struct {
+	Info *bfsproto.Info
+	// OwnPart is the part this vertex belongs to (partition.None if
+	// uncovered). Only part members exchange over G[P_i] edges; Steiner
+	// vertices participate in intra-block casts only.
+	OwnPart int
+	// Parts lists, sorted, every part for which this node is in a block.
+	Parts []int
+	// ParentIn[i] reports whether the parent edge belongs to H_i (the block
+	// continues upward; nodes with ParentIn false are their block's root).
+	ParentIn map[int]bool
+	// ChildrenIn[i] lists the children connected through H_i edges.
+	ChildrenIn map[int][]graph.NodeID
+	// RootDepth and RootID identify this node's block per part — filled by
+	// Annotate; the pair (RootDepth, part) is Lemma 2's routing priority and
+	// RootID is the block's unique key.
+	RootDepth map[int]int
+	RootID    map[int]graph.NodeID
+	// NeighborPart maps every graph neighbor to its part (filled by the
+	// one-round announce in BuildMembership).
+	NeighborPart map[graph.NodeID]int
+	// CMax is the global maximum number of parts on any tree edge — the
+	// shortcut congestion bound used to size Lemma 2 round budgets.
+	CMax int
+}
+
+// partAnnounce is the one-round "my part is i" message.
+type partAnnounce struct{ part, n int }
+
+func (m partAnnounce) Bits() int { return congest.BitsForID(m.n) + 1 }
+
+// BuildMembership derives block membership from the node's shortcut state,
+// announces parts to neighbors (1 round) and aggregates the global
+// per-edge-part-count maximum (2·depth(T)+3 rounds). All nodes must call it
+// aligned; they leave aligned.
+func BuildMembership(ctx *congest.Ctx, ns *coredist.NodeShortcut, assign coredist.PartAssign) (*Membership, error) {
+	info := ns.Info
+	m := &Membership{
+		Info:         info,
+		OwnPart:      assign.Part(ctx.ID()),
+		ParentIn:     make(map[int]bool),
+		ChildrenIn:   make(map[int][]graph.NodeID),
+		RootDepth:    make(map[int]int),
+		RootID:       make(map[int]graph.NodeID),
+		NeighborPart: make(map[graph.NodeID]int, ctx.Degree()),
+	}
+	add := func(i int) {
+		k := sort.SearchInts(m.Parts, i)
+		if k == len(m.Parts) || m.Parts[k] != i {
+			m.Parts = append(m.Parts, 0)
+			copy(m.Parts[k+1:], m.Parts[k:])
+			m.Parts[k] = i
+		}
+	}
+	localMax := 0
+	for _, i := range ns.ParentParts {
+		add(i)
+		m.ParentIn[i] = true
+	}
+	if len(ns.ParentParts) > localMax {
+		localMax = len(ns.ParentParts)
+	}
+	// Deterministic iteration: children in sorted order.
+	children := make([]graph.NodeID, 0, len(ns.ChildParts))
+	for ch := range ns.ChildParts {
+		children = append(children, ch)
+	}
+	sort.Ints(children)
+	for _, ch := range children {
+		parts := ns.ChildParts[ch]
+		for _, i := range parts {
+			add(i)
+			m.ChildrenIn[i] = append(m.ChildrenIn[i], ch)
+		}
+		if len(parts) > localMax {
+			localMax = len(parts)
+		}
+	}
+	if m.OwnPart != partition.None {
+		add(m.OwnPart)
+	}
+
+	// One-round part announce.
+	ctx.SendAll(partAnnounce{part: m.OwnPart, n: info.Count})
+	for _, msg := range ctx.StepRound() {
+		pa, ok := msg.Payload.(partAnnounce)
+		if !ok {
+			return nil, fmt.Errorf("partops: unexpected payload %T in announce", msg.Payload)
+		}
+		m.NeighborPart[msg.From] = pa.part
+	}
+
+	// Global congestion bound for Lemma 2 budgets.
+	cMax, err := bfsproto.MaxPhase(ctx, info, int64(localMax))
+	if err != nil {
+		return nil, err
+	}
+	m.CMax = int(cMax)
+	return m, nil
+}
+
+// IsBlockRoot reports whether this node is the root of its block for part i.
+func (m *Membership) IsBlockRoot(i int) bool { return !m.ParentIn[i] }
+
+// CastBudget returns the per-direction Lemma 2 round budget for this
+// shortcut: depth(T) + congestion + 2.
+func (m *Membership) CastBudget() int { return m.Info.Height + m.CMax + 2 }

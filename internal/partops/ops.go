@@ -1,0 +1,129 @@
+package partops
+
+import (
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/partition"
+)
+
+// A superstep (Theorem 2's supergraph step) is one round of value exchange
+// over G[P_i] edges followed by an intra-block convergecast to the block root
+// and a broadcast back — O(D + c) rounds by Lemma 2. Supergraph algorithms
+// (leader election, BFS, counting) advance one supergraph hop per superstep.
+
+// SpreadMin runs `steps` min-propagation supersteps: every node starts with
+// init(part) for each of its blocks and after k steps holds the minimum
+// (by less) over all blocks within k supergraph hops whose members initially
+// held smaller values. It implements at once Theorem 2's leader election
+// (init = block root ID), broadcast (init = value at the leader, +∞
+// elsewhere) and idempotent convergecast (init = member values). init need
+// not be uniform within a block — the first intra-block cast folds it.
+// All nodes enter and leave aligned: steps·(2·CastBudget+1) rounds.
+func (m *Membership) SpreadMin(ctx *congest.Ctx, init func(part int) Value, less func(a, b Value) bool, steps int) (map[int]Value, error) {
+	minC := func(a, b Value) Value {
+		if less(b, a) {
+			return b
+		}
+		return a
+	}
+	cur := make(map[int]Value, len(m.Parts))
+	for _, i := range m.Parts {
+		cur[i] = init(i)
+	}
+	for s := 0; s < steps; s++ {
+		var mine Value
+		if m.OwnPart != partition.None {
+			mine = cur[m.OwnPart]
+		}
+		recv, err := m.Exchange(ctx, mine)
+		if err != nil {
+			return nil, err
+		}
+		cand := mine
+		for _, v := range recv {
+			cand = minC(cand, v)
+		}
+		res, err := m.Gather(ctx, func(i int) Value {
+			if i == m.OwnPart {
+				return cand
+			}
+			return cur[i]
+		}, minC, 0)
+		if err != nil {
+			return nil, err
+		}
+		got, err := m.Scatter(ctx, func(i int) Value { return res[i] }, 0)
+		if err != nil {
+			return nil, err
+		}
+		cur = got
+	}
+	return cur, nil
+}
+
+// lessID orders IDVals ascending.
+func lessID(a, b Value) bool { return a.(IDVal).V < b.(IDVal).V }
+
+// ElectLeaders implements Theorem 2 i): after steps supersteps every member
+// of part i knows the part's leader — the minimum block-root ID. steps must
+// be at least the part's block count (the block parameter b) for the result
+// to be globally consistent; VerifyBlockCount detects when it is not.
+func (m *Membership) ElectLeaders(ctx *congest.Ctx, steps int) (map[int]int64, error) {
+	res, err := m.SpreadMin(ctx, func(i int) Value {
+		return IDVal{V: int64(m.RootID[i]), N: m.Info.Count}
+	}, lessID, steps)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int64, len(res))
+	for i, v := range res {
+		out[i] = v.(IDVal).V
+	}
+	return out, nil
+}
+
+// BroadcastValue implements Theorem 2 iii): the node whose ID equals
+// leader[i] injects value(i); after steps+1 supersteps every member of part
+// i holds it. (One extra superstep flushes the leader's value through its
+// own block.) Returns the received value per part, or nil for parts whose
+// value did not arrive within the horizon.
+func (m *Membership) BroadcastValue(ctx *congest.Ctx, leaders map[int]int64, value func(part int) int64, steps int) (map[int]int64, error) {
+	const missing = int64(1) << 62
+	res, err := m.SpreadMin(ctx, func(i int) Value {
+		if int64(ctx.ID()) == leaders[i] {
+			return PairVal{A: 0, B: value(i), N: m.Info.Count}
+		}
+		return PairVal{A: 1, B: missing, N: m.Info.Count}
+	}, func(a, b Value) bool {
+		pa, pb := a.(PairVal), b.(PairVal)
+		if pa.A != pb.A {
+			return pa.A < pb.A
+		}
+		return pa.B < pb.B
+	}, steps+1)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int64, len(res))
+	for i, v := range res {
+		if pv := v.(PairVal); pv.A == 0 {
+			out[i] = pv.B
+		}
+	}
+	return out, nil
+}
+
+// MinToAll implements Theorem 2 ii) for idempotent aggregates: every part
+// member contributes a value and after steps+1 supersteps all members
+// (the leader included) know the part-wide minimum under less. Members
+// without a contribution pass nil (treated as +∞). Steiner nodes contribute
+// nothing.
+func (m *Membership) MinToAll(ctx *congest.Ctx, own func(part int) Value, top Value, less func(a, b Value) bool, steps int) (map[int]Value, error) {
+	return m.SpreadMin(ctx, func(i int) Value {
+		if i == m.OwnPart {
+			if v := own(i); v != nil {
+				return v
+			}
+		}
+		return top
+	}, less, steps+1)
+}

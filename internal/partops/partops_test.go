@@ -1,0 +1,367 @@
+package partops
+
+import (
+	"testing"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/coredist"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+)
+
+type instance struct {
+	name string
+	g    *graph.Graph
+	p    *partition.Partition
+}
+
+func testInstances(tb testing.TB) []instance {
+	tb.Helper()
+	out := []instance{
+		{"grid8x8/columns", gen.Grid(8, 8), partition.GridColumns(8, 8)},
+		{"grid10x10/voronoi7", gen.Grid(10, 10), partition.Voronoi(gen.Grid(10, 10), 7, 1)},
+		{"grid12x12/snake3", gen.Grid(12, 12), partition.GridSnake(12, 12, 3)},
+		{"torus7x7/voronoi5", gen.Torus(7, 7), partition.Voronoi(gen.Torus(7, 7), 5, 2)},
+		{"tree40/voronoi6", gen.RandomTree(40, 4), partition.Voronoi(gen.RandomTree(40, 4), 6, 5)},
+		{"grid5x5/singletons", gen.Grid(5, 5), partition.Singletons(25)},
+		{"grid6x6/whole", gen.Grid(6, 6), partition.Whole(36)},
+	}
+	lb := gen.LowerBound(4, 6)
+	plb, err := partition.FromParts(lb.NumNodes(), gen.LowerBoundPaths(4, 6))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out = append(out, instance{"lowerbound4x6/paths", lb, plb})
+	return out
+}
+
+// pipeline runs BFS + CoreSlow(c*) + membership + annotation on every node,
+// then the supplied continuation, and returns the per-node memberships plus
+// the centralized view of the computed shortcut for cross-checking.
+func pipeline(tb testing.TB, in instance, cont func(ctx *congest.Ctx, m *Membership) error) ([]*Membership, *core.Shortcut, congest.Stats) {
+	tb.Helper()
+	n := in.g.NumNodes()
+	states := make([]*coredist.NodeShortcut, n)
+	members := make([]*Membership, n)
+	stats, err := congest.Run(in.g, func(ctx *congest.Ctx) error {
+		info, err := bfsproto.Phase(ctx, 0, 7)
+		if err != nil {
+			return err
+		}
+		ns, err := coredist.CoreSlowPhase(ctx, info, in.p, cstarOf(tb, in), false)
+		if err != nil {
+			return err
+		}
+		states[ctx.ID()] = ns
+		m, err := BuildMembership(ctx, ns, in.p)
+		if err != nil {
+			return err
+		}
+		if err := m.Annotate(ctx); err != nil {
+			return err
+		}
+		members[ctx.ID()] = m
+		if cont != nil {
+			return cont(ctx, m)
+		}
+		return nil
+	}, congest.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, _, err := coredist.ToShortcut(in.g, in.p, states)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return members, s, stats
+}
+
+// cstarOf caches witness congestion per instance (computed on the
+// protocol-built tree).
+var cstarCache = map[string]int{}
+
+func cstarOf(tb testing.TB, in instance) int {
+	if c, ok := cstarCache[in.name]; ok {
+		return c
+	}
+	infos, _, err := bfsproto.Run(in.g, 0, 7, congest.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	states := make([]*coredist.NodeShortcut, in.g.NumNodes())
+	for v, info := range infos {
+		ns := &coredist.NodeShortcut{Info: info}
+		states[v] = ns
+	}
+	_, tr, err := coredist.ToShortcut(in.g, in.p, states)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c := core.WitnessCongestion(tr, in.p)
+	cstarCache[in.name] = c
+	return c
+}
+
+func TestAnnotateMatchesCentralBlocks(t *testing.T) {
+	for _, in := range testInstances(t) {
+		t.Run(in.name, func(t *testing.T) {
+			members, s, _ := pipeline(t, in, nil)
+			for i := 0; i < in.p.NumParts(); i++ {
+				for _, blk := range s.Blocks(i) {
+					for _, v := range blk.Nodes {
+						m := members[v]
+						if m.RootID[i] != blk.Root {
+							t.Errorf("part %d node %d: RootID %d, want %d", i, v, m.RootID[i], blk.Root)
+						}
+						if m.RootDepth[i] != s.Tree().Depth(blk.Root) {
+							t.Errorf("part %d node %d: RootDepth %d, want %d", i, v, m.RootDepth[i], s.Tree().Depth(blk.Root))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMembershipPartsMatchBlocks(t *testing.T) {
+	for _, in := range testInstances(t) {
+		t.Run(in.name, func(t *testing.T) {
+			members, s, _ := pipeline(t, in, nil)
+			// Every block node must list the part in its membership and
+			// vice versa.
+			inBlock := make(map[[2]int]bool)
+			for i := 0; i < in.p.NumParts(); i++ {
+				for _, blk := range s.Blocks(i) {
+					for _, v := range blk.Nodes {
+						inBlock[[2]int{v, i}] = true
+					}
+				}
+			}
+			for v, m := range members {
+				for _, i := range m.Parts {
+					if !inBlock[[2]int{v, i}] {
+						t.Errorf("node %d claims membership in part %d without a block", v, i)
+					}
+					delete(inBlock, [2]int{v, i})
+				}
+			}
+			for key := range inBlock {
+				t.Errorf("node %d in a block of part %d but not in membership", key[0], key[1])
+			}
+		})
+	}
+}
+
+func TestElectLeaders(t *testing.T) {
+	for _, in := range testInstances(t) {
+		t.Run(in.name, func(t *testing.T) {
+			type result struct{ leaders map[int]int64 }
+			results := make([]result, in.g.NumNodes())
+			_, s, _ := pipeline(t, in, func(ctx *congest.Ctx, m *Membership) error {
+				// Steps: global block-count bound; computed centrally for the
+				// test but any upper bound works.
+				steps := 1
+				for i := 0; i < in.p.NumParts(); i++ {
+					if b := blockBound(in); b > steps {
+						steps = b
+					}
+				}
+				l, err := m.ElectLeaders(ctx, steps)
+				if err != nil {
+					return err
+				}
+				results[ctx.ID()] = result{leaders: l}
+				return nil
+			})
+			for i := 0; i < in.p.NumParts(); i++ {
+				blocks := s.Blocks(i)
+				want := int64(blocks[0].Root)
+				for _, blk := range blocks {
+					if int64(blk.Root) < want {
+						want = int64(blk.Root)
+					}
+					for _, v := range blk.Nodes {
+						if got := results[v].leaders[i]; got != want {
+							t.Fatalf("part %d node %d: leader %d, want %d", i, v, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// blockBound returns a crude global block-count upper bound for an instance
+// (max block count over parts of the CoreSlow(c*) shortcut, computed
+// centrally for test budgeting).
+var blockBoundCache = map[string]int{}
+
+func blockBound(in instance) int {
+	if b, ok := blockBoundCache[in.name]; ok {
+		return b
+	}
+	// Computed lazily by tests that already hold the shortcut; default 8.
+	return 8
+}
+
+func setBlockBound(in instance, s *core.Shortcut) int {
+	b := 1
+	for i := 0; i < in.p.NumParts(); i++ {
+		if c := s.BlockCount(i); c > b {
+			b = c
+		}
+	}
+	blockBoundCache[in.name] = b
+	return b
+}
+
+func TestVerifyBlockCountExact(t *testing.T) {
+	for _, in := range testInstances(t) {
+		t.Run(in.name, func(t *testing.T) {
+			// First pass to learn the true block counts.
+			_, s, _ := pipeline(t, in, nil)
+			bMax := setBlockBound(in, s)
+			counts := make([]int, in.p.NumParts())
+			for i := range counts {
+				counts[i] = s.BlockCount(i)
+			}
+			for _, bLimit := range []int{1, 2, bMax} {
+				results := make([]map[int]SumResult, in.g.NumNodes())
+				pipeline(t, in, func(ctx *congest.Ctx, m *Membership) error {
+					r, err := m.VerifyBlockCount(ctx, bLimit)
+					if err != nil {
+						return err
+					}
+					results[ctx.ID()] = r
+					return nil
+				})
+				for i := 0; i < in.p.NumParts(); i++ {
+					wantOK := counts[i] <= bLimit
+					for v := 0; v < in.g.NumNodes(); v++ {
+						r, present := results[v][i]
+						if !present {
+							continue // not a member of any block of part i
+						}
+						if r.OK != wantOK {
+							t.Fatalf("bLimit=%d part %d (true count %d) node %d: OK=%v, want %v",
+								bLimit, i, counts[i], v, r.OK, wantOK)
+						}
+						if r.OK && r.Sum != int64(counts[i]) {
+							t.Fatalf("bLimit=%d part %d node %d: count %d, want %d",
+								bLimit, i, v, r.Sum, counts[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPartSumCountsMembers(t *testing.T) {
+	for _, in := range testInstances(t) {
+		t.Run(in.name, func(t *testing.T) {
+			_, s, _ := pipeline(t, in, nil)
+			steps := setBlockBound(in, s)
+			results := make([]map[int]SumResult, in.g.NumNodes())
+			pipeline(t, in, func(ctx *congest.Ctx, m *Membership) error {
+				r, err := m.PartSum(ctx, func(i int) int64 {
+					if i == m.OwnPart {
+						return 1
+					}
+					return 0
+				}, steps)
+				if err != nil {
+					return err
+				}
+				results[ctx.ID()] = r
+				return nil
+			})
+			for i := 0; i < in.p.NumParts(); i++ {
+				want := int64(in.p.Size(i))
+				v := in.p.Nodes(i)[0]
+				r := results[v][i]
+				if !r.OK {
+					t.Fatalf("part %d: PartSum not OK with steps=%d", i, steps)
+				}
+				if r.Sum != want {
+					t.Fatalf("part %d: sum %d, want %d", i, r.Sum, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMinToAllAndBroadcast(t *testing.T) {
+	in := testInstances(t)[1] // grid10x10/voronoi7
+	_, s, _ := pipeline(t, in, nil)
+	steps := setBlockBound(in, s)
+	n := in.g.NumNodes()
+	minGot := make([]map[int]Value, n)
+	bcGot := make([]map[int]int64, n)
+	pipeline(t, in, func(ctx *congest.Ctx, m *Membership) error {
+		top := IDVal{V: int64(n + 10), N: 4 * n}
+		mins, err := m.MinToAll(ctx, func(i int) Value {
+			return IDVal{V: int64(ctx.ID()), N: 4 * n}
+		}, top, lessID, steps)
+		if err != nil {
+			return err
+		}
+		minGot[ctx.ID()] = mins
+		leaders, err := m.ElectLeaders(ctx, steps)
+		if err != nil {
+			return err
+		}
+		bc, err := m.BroadcastValue(ctx, leaders, func(i int) int64 {
+			return int64(1000 + i)
+		}, steps)
+		if err != nil {
+			return err
+		}
+		bcGot[ctx.ID()] = bc
+		return nil
+	})
+	for i := 0; i < in.p.NumParts(); i++ {
+		// Min member ID per part.
+		want := int64(in.p.Nodes(i)[0])
+		for _, v := range in.p.Nodes(i) {
+			if int64(v) < want {
+				want = int64(v)
+			}
+		}
+		for _, v := range in.p.Nodes(i) {
+			if got := minGot[v][i].(IDVal).V; got != want {
+				t.Fatalf("part %d node %d: min %d, want %d", i, v, got, want)
+			}
+			if got := bcGot[v][i]; got != int64(1000+i) {
+				t.Fatalf("part %d node %d: broadcast %d, want %d", i, v, got, 1000+i)
+			}
+		}
+	}
+}
+
+func TestVerifyRoundComplexity(t *testing.T) {
+	// Lemma 3: O(b(D+c)) rounds. Assert the concrete budget accounting:
+	// rounds ≤ pipeline prefix + (4b+2)·(2·CastBudget+1) + slack.
+	in := instance{"grid9x9/voronoi5", gen.Grid(9, 9), partition.Voronoi(gen.Grid(9, 9), 5, 4)}
+	_, s, _ := pipeline(t, in, nil)
+	b := setBlockBound(in, s)
+	_, _, statsBase := pipeline(t, in, nil)
+	var stats congest.Stats
+	_, _, stats = pipeline(t, in, func(ctx *congest.Ctx, m *Membership) error {
+		_, err := m.VerifyBlockCount(ctx, b)
+		return err
+	})
+	extra := stats.Rounds - statsBase.Rounds
+	castBudget := 0
+	pipeline(t, in, func(ctx *congest.Ctx, m *Membership) error {
+		castBudget = m.CastBudget() // same at every node
+		return nil
+	})
+	limit := (4*b + 6) * (2*(castBudget+1) + 3)
+	if extra > limit {
+		t.Errorf("verification rounds %d > budget %d (b=%d, castBudget=%d)", extra, limit, b, castBudget)
+	}
+}

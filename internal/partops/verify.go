@@ -1,0 +1,258 @@
+package partops
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+)
+
+// countMsg carries a subtree sum (plus a conflict flag) from a child block's
+// chosen uplink vertex to the parent block during the supergraph-BFS
+// convergecast.
+type countMsg struct {
+	sum      int64
+	conflict bool
+	n        int
+}
+
+func (m countMsg) Bits() int { return congest.BitsForID(m.n) + 2 }
+
+// SumResult is the outcome of PartSum / VerifyBlockCount for one part.
+type SumResult struct {
+	// Sum is the aggregated value (valid only when OK).
+	Sum int64
+	// OK reports that the part's supergraph procedure certified itself:
+	// a single leader, every block reached within the step horizon, and no
+	// conflicts — exactly the success condition of the paper's Lemma 3.
+	OK bool
+}
+
+// PartSum aggregates, for every part, the sum of own(part) over all block
+// members — a non-idempotent convergecast realized by the paper's Lemma 3
+// machinery: elect leaders (steps supersteps), build a BFS forest over each
+// part's supergraph rooted at the leader block (steps supersteps, adopting
+// parents only among same-leader neighbors), converge sums up the forest
+// (steps supersteps scheduled by layer) and spread the verdict/result back
+// (steps+1 supersteps). A part whose supergraph has at most `steps` blocks is
+// guaranteed OK with an exact sum; parts with more blocks are reported not-OK
+// at every member (never a wrong sum).
+//
+// Total cost: (4·steps+2)·O(D+c) rounds = O(steps·(D+c)), matching Lemma 3.
+// All nodes enter and leave aligned.
+func (m *Membership) PartSum(ctx *congest.Ctx, own func(part int) int64, steps int) (map[int]SumResult, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("partops: PartSum needs steps >= 1, got %d", steps)
+	}
+	n := m.Info.Count
+	leaders, err := m.ElectLeaders(ctx, steps)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Supergraph BFS forest construction -------------------------------
+	const unreached = -1
+	layer := make(map[int]int, len(m.Parts))
+	port := make(map[int]int64, len(m.Parts)) // uplink*n + uplinkNbr, -1 none
+	for _, i := range m.Parts {
+		if int64(m.RootID[i]) == leaders[i] {
+			layer[i] = 0
+		} else {
+			layer[i] = unreached
+		}
+		port[i] = -1
+	}
+	conflictLocal := false
+	const noPort = int64(1) << 62
+	for t := 1; t <= steps; t++ {
+		// Exchange (layer, leader) with same-part neighbors.
+		var mine Value
+		if m.OwnPart != partition.None {
+			mine = PairVal{A: int64(layer[m.OwnPart]), B: leaders[m.OwnPart], N: n}
+		}
+		recv, err := m.Exchange(ctx, mine)
+		if err != nil {
+			return nil, err
+		}
+		cand := noPort
+		for from, v := range recv {
+			pv := v.(PairVal)
+			if pv.B != leaders[m.OwnPart] {
+				conflictLocal = true
+				continue
+			}
+			if pv.A == int64(t-1) {
+				if p := int64(ctx.ID())*int64(n) + int64(from); p < cand {
+					cand = p
+				}
+			}
+		}
+		// Gather the minimum candidate port to the block root.
+		res, err := m.Gather(ctx, func(i int) Value {
+			if i == m.OwnPart && layer[i] == unreached {
+				return IDVal{V: cand, N: n * n}
+			}
+			return IDVal{V: noPort, N: n * n}
+		}, func(a, b Value) Value {
+			if b.(IDVal).V < a.(IDVal).V {
+				return b
+			}
+			return a
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		// Roots adopt; scatter the (layer, port) state.
+		adopted, err := m.Scatter(ctx, func(i int) Value {
+			if layer[i] == unreached {
+				if v, ok := res[i]; ok && v.(IDVal).V != noPort {
+					return PairVal{A: int64(t), B: v.(IDVal).V, N: n * n}
+				}
+			}
+			return PairVal{A: int64(layer[i]), B: port[i], N: n * n}
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range adopted {
+			pv := v.(PairVal)
+			layer[i] = int(pv.A)
+			port[i] = pv.B
+		}
+	}
+
+	// --- Sum convergecast up the BFS forest -------------------------------
+	// cnt accumulates at block roots; recvSum/recvConflict buffer incoming
+	// child counts at individual vertices between supersteps.
+	cnt := make(map[int]int64, len(m.Parts))
+	confl := make(map[int]bool, len(m.Parts))
+	// Initial intra-block sum of member contributions (+ conflict bits).
+	first, err := m.Gather(ctx, func(i int) Value {
+		c := int64(0)
+		if conflictLocal {
+			c = 1
+		}
+		return PairVal{A: own(i), B: c, N: n}
+	}, addPair, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range first {
+		pv := v.(PairVal)
+		cnt[i] = pv.A
+		confl[i] = pv.B > 0
+	}
+	recvSum := make(map[int]int64, len(m.Parts))
+	recvConfl := make(map[int]bool, len(m.Parts))
+	for s := steps; s >= 1; s-- {
+		// Roots scatter their current (cnt, conflict) so uplink members of
+		// layer-s blocks can forward. (Members already know layer and port
+		// from the BFS phase.)
+		state, err := m.Scatter(ctx, func(i int) Value {
+			c := int64(0)
+			if confl[i] {
+				c = 1
+			}
+			return PairVal{A: cnt[i], B: c, N: n}
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		// One round: chosen uplink vertices of layer-s blocks forward.
+		if i := m.OwnPart; i != partition.None && layer[i] == s && port[i] != -1 {
+			pv := state[i].(PairVal)
+			up := graph.NodeID(port[i] / int64(n))
+			nbr := graph.NodeID(port[i] % int64(n))
+			if up == ctx.ID() {
+				ctx.Send(nbr, countMsg{sum: pv.A, conflict: pv.B == 1, n: n})
+			}
+		}
+		for _, msg := range ctx.StepRound() {
+			cm, ok := msg.Payload.(countMsg)
+			if !ok {
+				return nil, fmt.Errorf("partops: unexpected payload %T in count step", msg.Payload)
+			}
+			recvSum[m.OwnPart] += cm.sum
+			recvConfl[m.OwnPart] = recvConfl[m.OwnPart] || cm.conflict
+		}
+		// Gather this superstep's receipts into roots.
+		got, err := m.Gather(ctx, func(i int) Value {
+			c := int64(0)
+			if recvConfl[i] {
+				c = 1
+			}
+			v := PairVal{A: recvSum[i], B: c, N: n}
+			recvSum[i] = 0
+			recvConfl[i] = false
+			return v
+		}, addPair, 0)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range got {
+			pv := v.(PairVal)
+			cnt[i] += pv.A
+			confl[i] = confl[i] || pv.B > 0
+		}
+	}
+
+	// --- Verdict / result spread ------------------------------------------
+	// The leader-block root knows the forest total and conflict status; every
+	// believed leader broadcasts (verdict, sum). Bad dominates under min.
+	const vGood, vBad, vUnknown = 0, 1, 2
+	spread, err := m.SpreadMin(ctx, func(i int) Value {
+		if int64(ctx.ID()) == leaders[i] && m.IsBlockRoot(i) {
+			v := int64(vGood)
+			if confl[i] {
+				v = vBad
+			}
+			return PairVal{A: v, B: cnt[i], N: n}
+		}
+		return PairVal{A: vUnknown, B: 0, N: n}
+	}, func(a, b Value) bool {
+		pa, pb := a.(PairVal), b.(PairVal)
+		if pa.A != pb.A {
+			return pa.A < pb.A
+		}
+		return pa.B < pb.B
+	}, steps+1)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]SumResult, len(m.Parts))
+	for _, i := range m.Parts {
+		pv := spread[i].(PairVal)
+		ok := pv.A == vGood && layer[i] != unreached
+		out[i] = SumResult{Sum: pv.B, OK: ok}
+	}
+	return out, nil
+}
+
+func addPair(a, b Value) Value {
+	pa, pb := a.(PairVal), b.(PairVal)
+	return PairVal{A: pa.A + pb.A, B: pa.B | pb.B, N: pa.N}
+}
+
+// VerifyBlockCount implements the Verification subroutine (Lemmas 3 and 6):
+// it marks good every part whose shortcut subgraph has at most bLimit block
+// components. Every member of a good part learns the verdict and the exact
+// block count; parts with more than bLimit blocks are reported bad at every
+// member. Runs in O(bLimit·(D+c)) rounds.
+func (m *Membership) VerifyBlockCount(ctx *congest.Ctx, bLimit int) (map[int]SumResult, error) {
+	res, err := m.PartSum(ctx, func(i int) int64 {
+		if m.IsBlockRoot(i) {
+			return 1
+		}
+		return 0
+	}, bLimit)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		if r.OK && r.Sum > int64(bLimit) {
+			res[i] = SumResult{Sum: r.Sum, OK: false}
+		}
+	}
+	return res, nil
+}

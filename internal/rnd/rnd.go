@@ -1,0 +1,29 @@
+// Package rnd provides the tiny deterministic pseudorandom primitives shared
+// by the centralized reference algorithms and the distributed protocols. Both
+// sides must sample *identically* from a shared seed (the paper's shared
+// randomness assumption), which is what makes the centralized-vs-distributed
+// equivalence tests exact.
+package rnd
+
+// Mix64 is the splitmix64 finalizer over a seed/key pair: a fast PRF good
+// enough for part-activation sampling.
+func Mix64(seed int64, key int64) uint64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(key)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Float64At returns a deterministic uniform [0,1) variate for (seed, key).
+func Float64At(seed int64, key int64) float64 {
+	return float64(Mix64(seed, key)>>11) / float64(1<<53)
+}
+
+// Bernoulli reports a deterministic coin flip with success probability p for
+// (seed, key).
+func Bernoulli(seed int64, key int64, p float64) bool {
+	return Float64At(seed, key) < p
+}

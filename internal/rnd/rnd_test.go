@@ -1,0 +1,67 @@
+package rnd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMix64Deterministic(t *testing.T) {
+	if Mix64(1, 2) != Mix64(1, 2) {
+		t.Fatal("Mix64 not deterministic")
+	}
+	if Mix64(1, 2) == Mix64(1, 3) || Mix64(1, 2) == Mix64(2, 2) {
+		t.Fatal("Mix64 collides on trivially different inputs")
+	}
+}
+
+func TestFloat64AtRange(t *testing.T) {
+	for k := int64(0); k < 1000; k++ {
+		v := Float64At(42, k)
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64At out of [0,1): %v", v)
+		}
+	}
+}
+
+// The Bernoulli sampler must track its probability closely — the Chernoff
+// arguments in CoreFast depend on it.
+func TestBernoulliFrequency(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		hits := 0
+		const trials = 20000
+		for k := int64(0); k < trials; k++ {
+			if Bernoulli(7, k, p) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if math.Abs(got-p) > 0.02 {
+			t.Errorf("p=%v: empirical frequency %v", p, got)
+		}
+	}
+}
+
+func TestBernoulliEdgeProbabilities(t *testing.T) {
+	for k := int64(0); k < 100; k++ {
+		if Bernoulli(1, k, 0) {
+			t.Fatal("Bernoulli(p=0) fired")
+		}
+		if !Bernoulli(1, k, 1) {
+			t.Fatal("Bernoulli(p=1) did not fire")
+		}
+	}
+}
+
+func TestAvalanche(t *testing.T) {
+	// Flipping one bit of the key should flip roughly half the output bits.
+	base := Mix64(99, 1234)
+	flipped := Mix64(99, 1234^1)
+	diff := base ^ flipped
+	pop := 0
+	for ; diff != 0; diff &= diff - 1 {
+		pop++
+	}
+	if pop < 16 || pop > 48 {
+		t.Errorf("poor avalanche: %d differing bits", pop)
+	}
+}

@@ -1,0 +1,245 @@
+// Package tree provides the rooted spanning tree substrate: a centralized
+// representation of a BFS (or arbitrary) spanning tree of a graph, with
+// parent/children/depth arrays, ancestor queries and traversal orders. Every
+// shortcut in this repository is restricted to such a tree (Definition 2 of
+// the paper); both the centralized reference algorithms and the checkers that
+// validate distributed executions are built on it.
+package tree
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/graph"
+)
+
+// Tree is a rooted spanning tree of a Graph. Construct with BFSTree or
+// FromParents.
+type Tree struct {
+	g          *graph.Graph
+	root       graph.NodeID
+	parent     []graph.NodeID // parent[v], or -1 at the root
+	parentEdge []graph.EdgeID // edge to parent, or -1 at the root
+	depth      []int
+	children   [][]graph.NodeID
+	order      []graph.NodeID // BFS order from the root
+	height     int
+	isTreeEdge []bool
+	tin, tout  []int // DFS intervals for ancestor queries
+}
+
+// BFSTree builds a breadth-first spanning tree of g rooted at root. The tree
+// has minimum possible depth among trees rooted at root, so its height is at
+// most the diameter of g. g must be connected.
+func BFSTree(g *graph.Graph, root graph.NodeID) *Tree {
+	n := g.NumNodes()
+	parent := make([]graph.NodeID, n)
+	parentEdge := make([]graph.EdgeID, n)
+	depth := make([]int, n)
+	for i := range parent {
+		parent[i], parentEdge[i], depth[i] = -1, -1, -1
+	}
+	depth[root] = 0
+	order := make([]graph.NodeID, 0, n)
+	order = append(order, root)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, a := range g.Adj(v) {
+			if depth[a.To] == -1 {
+				depth[a.To] = depth[v] + 1
+				parent[a.To] = v
+				parentEdge[a.To] = a.Edge
+				order = append(order, a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		panic(fmt.Sprintf("tree: graph is disconnected (%d of %d reached)", len(order), n))
+	}
+	return finish(g, root, parent, parentEdge, depth, order)
+}
+
+// FromParents builds a Tree from explicit parent pointers (parent[root] must
+// be -1 and every other vertex must have a parent it is adjacent to). It is
+// used to adopt trees computed by the distributed BFS protocol.
+func FromParents(g *graph.Graph, root graph.NodeID, parent []graph.NodeID) (*Tree, error) {
+	n := g.NumNodes()
+	if len(parent) != n {
+		return nil, fmt.Errorf("tree: parent slice has %d entries, want %d", len(parent), n)
+	}
+	if parent[root] != -1 {
+		return nil, fmt.Errorf("tree: root %d has parent %d, want -1", root, parent[root])
+	}
+	parentEdge := make([]graph.EdgeID, n)
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	parentEdge[root] = -1
+	depth[root] = 0
+	childLists := make([][]graph.NodeID, n)
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		p := parent[v]
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("tree: vertex %d has out-of-range parent %d", v, p)
+		}
+		eid, ok := g.FindEdge(v, p)
+		if !ok {
+			return nil, fmt.Errorf("tree: vertex %d not adjacent to claimed parent %d", v, p)
+		}
+		parentEdge[v] = eid
+		childLists[p] = append(childLists[p], v)
+	}
+	// BFS from root over parent structure to set depths and detect cycles.
+	order := make([]graph.NodeID, 0, n)
+	order = append(order, root)
+	for head := 0; head < len(order); head++ {
+		v := order[head]
+		for _, c := range childLists[v] {
+			depth[c] = depth[v] + 1
+			order = append(order, c)
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("tree: parent pointers do not form a spanning tree (%d of %d reached)", len(order), n)
+	}
+	return finish(g, root, parent, parentEdge, depth, order), nil
+}
+
+func finish(g *graph.Graph, root graph.NodeID, parent []graph.NodeID, parentEdge []graph.EdgeID, depth []int, order []graph.NodeID) *Tree {
+	n := g.NumNodes()
+	t := &Tree{
+		g:          g,
+		root:       root,
+		parent:     parent,
+		parentEdge: parentEdge,
+		depth:      depth,
+		children:   make([][]graph.NodeID, n),
+		order:      order,
+		isTreeEdge: make([]bool, g.NumEdges()),
+		tin:        make([]int, n),
+		tout:       make([]int, n),
+	}
+	for v := 0; v < n; v++ {
+		if d := depth[v]; d > t.height {
+			t.height = d
+		}
+		if parent[v] != -1 {
+			t.children[parent[v]] = append(t.children[parent[v]], v)
+			t.isTreeEdge[parentEdge[v]] = true
+		}
+	}
+	// Iterative DFS for tin/tout intervals.
+	timer := 0
+	type frame struct {
+		v    graph.NodeID
+		next int
+	}
+	stack := make([]frame, 0, n)
+	stack = append(stack, frame{v: root})
+	t.tin[root] = timer
+	timer++
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(t.children[top.v]) {
+			c := t.children[top.v][top.next]
+			top.next++
+			t.tin[c] = timer
+			timer++
+			stack = append(stack, frame{v: c})
+			continue
+		}
+		t.tout[top.v] = timer
+		timer++
+		stack = stack[:len(stack)-1]
+	}
+	return t
+}
+
+// Graph returns the underlying graph.
+func (t *Tree) Graph() *graph.Graph { return t.g }
+
+// Root returns the root vertex.
+func (t *Tree) Root() graph.NodeID { return t.root }
+
+// Parent returns v's parent, or -1 for the root.
+func (t *Tree) Parent(v graph.NodeID) graph.NodeID { return t.parent[v] }
+
+// ParentEdge returns the EdgeID of v's parent edge, or -1 for the root.
+func (t *Tree) ParentEdge(v graph.NodeID) graph.EdgeID { return t.parentEdge[v] }
+
+// Depth returns v's distance from the root along the tree.
+func (t *Tree) Depth(v graph.NodeID) int { return t.depth[v] }
+
+// Height returns the maximum depth of any vertex (the paper's depth(T),
+// written D throughout).
+func (t *Tree) Height() int { return t.height }
+
+// Children returns v's children. The slice is owned by the tree.
+func (t *Tree) Children(v graph.NodeID) []graph.NodeID { return t.children[v] }
+
+// BFSOrder returns all vertices in non-decreasing depth order, root first.
+// The slice is owned by the tree.
+func (t *Tree) BFSOrder() []graph.NodeID { return t.order }
+
+// IsTreeEdge reports whether edge e belongs to the tree.
+func (t *Tree) IsTreeEdge(e graph.EdgeID) bool { return t.isTreeEdge[e] }
+
+// IsAncestor reports whether a is an ancestor of v (inclusively: every vertex
+// is an ancestor of itself).
+func (t *Tree) IsAncestor(a, v graph.NodeID) bool {
+	return t.tin[a] <= t.tin[v] && t.tout[v] <= t.tout[a]
+}
+
+// EdgeChild returns the lower (deeper) endpoint of tree edge e. Every tree
+// edge is the parent edge of exactly one vertex — its child endpoint — so
+// tree edges can be identified with vertices other than the root. Panics if
+// e is not a tree edge.
+func (t *Tree) EdgeChild(e graph.EdgeID) graph.NodeID {
+	ed := t.g.Edge(e)
+	switch {
+	case t.parentEdge[ed.U] == e:
+		return ed.U
+	case t.parentEdge[ed.V] == e:
+		return ed.V
+	}
+	panic(fmt.Sprintf("tree: edge %d is not a tree edge", e))
+}
+
+// PathToRoot returns the vertices from v up to and including the root.
+func (t *Tree) PathToRoot(v graph.NodeID) []graph.NodeID {
+	path := make([]graph.NodeID, 0, t.depth[v]+1)
+	for u := v; u != -1; u = t.parent[u] {
+		path = append(path, u)
+	}
+	return path
+}
+
+// LCA returns the lowest common ancestor of u and v by depth-aligned parent
+// walking (O(depth) per query, which is fine at this repository's scales).
+func (t *Tree) LCA(u, v graph.NodeID) graph.NodeID {
+	for t.depth[u] > t.depth[v] {
+		u = t.parent[u]
+	}
+	for t.depth[v] > t.depth[u] {
+		v = t.parent[v]
+	}
+	for u != v {
+		u, v = t.parent[u], t.parent[v]
+	}
+	return u
+}
+
+// TreeEdges returns the EdgeIDs of all tree edges in BFS order of their child
+// endpoint (so ancestors come before descendants).
+func (t *Tree) TreeEdges() []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, t.g.NumNodes()-1)
+	for _, v := range t.order {
+		if v != t.root {
+			out = append(out, t.parentEdge[v])
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+)
+
+func TestBFSTreeOnGrid(t *testing.T) {
+	g := gen.Grid(5, 5)
+	tr := BFSTree(g, 0)
+	if tr.Root() != 0 {
+		t.Fatalf("root = %d", tr.Root())
+	}
+	if tr.Height() != 8 { // corner-to-corner Manhattan distance
+		t.Errorf("height = %d, want 8", tr.Height())
+	}
+	dist := g.BFS(0)
+	for v := 0; v < g.NumNodes(); v++ {
+		if tr.Depth(v) != dist[v] {
+			t.Errorf("depth[%d] = %d, want BFS dist %d", v, tr.Depth(v), dist[v])
+		}
+	}
+	// Exactly n-1 tree edges.
+	count := 0
+	for e := 0; e < g.NumEdges(); e++ {
+		if tr.IsTreeEdge(e) {
+			count++
+		}
+	}
+	if count != g.NumNodes()-1 {
+		t.Errorf("tree edges = %d, want %d", count, g.NumNodes()-1)
+	}
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	g := gen.ErdosRenyi(60, 0.08, 11)
+	tr := BFSTree(g, 7)
+	for v := 0; v < g.NumNodes(); v++ {
+		if v == tr.Root() {
+			if tr.Parent(v) != -1 || tr.ParentEdge(v) != -1 {
+				t.Fatal("root has a parent")
+			}
+			continue
+		}
+		p := tr.Parent(v)
+		if tr.Depth(v) != tr.Depth(p)+1 {
+			t.Errorf("depth(%d)=%d but depth(parent)=%d", v, tr.Depth(v), tr.Depth(p))
+		}
+		if g.Other(tr.ParentEdge(v), v) != p {
+			t.Errorf("parent edge of %d does not lead to parent", v)
+		}
+		found := false
+		for _, c := range tr.Children(p) {
+			if c == v {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%d missing from children of %d", v, p)
+		}
+		if tr.EdgeChild(tr.ParentEdge(v)) != v {
+			t.Errorf("EdgeChild(parentEdge(%d)) != %d", v, v)
+		}
+	}
+}
+
+func TestAncestorAndLCA(t *testing.T) {
+	g := gen.CompleteBinaryTree(4)
+	tr := BFSTree(g, 0)
+	if !tr.IsAncestor(0, 14) {
+		t.Error("root not ancestor of leaf")
+	}
+	if !tr.IsAncestor(5, 5) {
+		t.Error("IsAncestor not reflexive")
+	}
+	if tr.IsAncestor(1, 2) || tr.IsAncestor(2, 1) {
+		t.Error("siblings claimed as ancestors")
+	}
+	// Children of node i are 2i+1, 2i+2 in gen.CompleteBinaryTree.
+	if got := tr.LCA(7, 8); got != 3 {
+		t.Errorf("LCA(7,8) = %d, want 3", got)
+	}
+	if got := tr.LCA(7, 4); got != 1 {
+		t.Errorf("LCA(7,4) = %d, want 1", got)
+	}
+	if got := tr.LCA(7, 14); got != 0 {
+		t.Errorf("LCA(7,14) = %d, want 0", got)
+	}
+}
+
+func TestLCABruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := gen.RandomTree(40, rng.Int63())
+		tr := BFSTree(g, 0)
+		for q := 0; q < 100; q++ {
+			u, v := rng.Intn(40), rng.Intn(40)
+			got := tr.LCA(u, v)
+			// Brute force: deepest common vertex of the two root paths.
+			onPath := make(map[graph.NodeID]bool)
+			for _, x := range tr.PathToRoot(u) {
+				onPath[x] = true
+			}
+			want := graph.NodeID(-1)
+			for _, x := range tr.PathToRoot(v) {
+				if onPath[x] {
+					want = x
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("LCA(%d,%d) = %d, want %d", u, v, got, want)
+			}
+			if !tr.IsAncestor(got, u) || !tr.IsAncestor(got, v) {
+				t.Fatalf("LCA(%d,%d)=%d is not a common ancestor", u, v, got)
+			}
+		}
+	}
+}
+
+func TestFromParentsRoundTrip(t *testing.T) {
+	g := gen.Torus(5, 5)
+	want := BFSTree(g, 3)
+	parents := make([]graph.NodeID, g.NumNodes())
+	for v := range parents {
+		parents[v] = want.Parent(v)
+	}
+	got, err := FromParents(g, 3, parents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if got.Depth(v) != want.Depth(v) || got.ParentEdge(v) != want.ParentEdge(v) {
+			t.Fatalf("vertex %d differs after round trip", v)
+		}
+	}
+	if got.Height() != want.Height() {
+		t.Errorf("height %d != %d", got.Height(), want.Height())
+	}
+}
+
+func TestFromParentsRejectsBadInput(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := FromParents(g, 0, []graph.NodeID{-1, 0, 1}); err == nil {
+		t.Error("short slice accepted")
+	}
+	if _, err := FromParents(g, 0, []graph.NodeID{-1, 0, 3, 2}); err == nil {
+		t.Error("cycle accepted") // 2<->3 point at each other
+	}
+	if _, err := FromParents(g, 0, []graph.NodeID{-1, 0, 0, 2}); err == nil {
+		t.Error("non-adjacent parent accepted")
+	}
+	if _, err := FromParents(g, 0, []graph.NodeID{1, 0, 1, 2}); err == nil {
+		t.Error("root with parent accepted")
+	}
+}
+
+func TestBFSOrderAndTreeEdges(t *testing.T) {
+	g := gen.Grid(4, 4)
+	tr := BFSTree(g, 0)
+	order := tr.BFSOrder()
+	if len(order) != g.NumNodes() {
+		t.Fatalf("order covers %d nodes", len(order))
+	}
+	for i := 1; i < len(order); i++ {
+		if tr.Depth(order[i]) < tr.Depth(order[i-1]) {
+			t.Fatal("BFSOrder not sorted by depth")
+		}
+	}
+	edges := tr.TreeEdges()
+	if len(edges) != g.NumNodes()-1 {
+		t.Fatalf("TreeEdges returned %d edges", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if tr.Depth(tr.EdgeChild(edges[i])) < tr.Depth(tr.EdgeChild(edges[i-1])) {
+			t.Fatal("TreeEdges not in ancestor-first order")
+		}
+	}
+}
+
+func TestPathToRoot(t *testing.T) {
+	g := gen.Path(6)
+	tr := BFSTree(g, 0)
+	path := tr.PathToRoot(5)
+	if len(path) != 6 || path[0] != 5 || path[5] != 0 {
+		t.Errorf("PathToRoot(5) = %v", path)
+	}
+}
