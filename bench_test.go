@@ -14,41 +14,52 @@ import (
 	"lcshortcut/internal/tree"
 )
 
-// Each benchmark regenerates one experiment table (the paper's theorem-bound
-// "tables and figures"; see EXPERIMENTS.md). Simulated CONGEST rounds — the
-// model's cost metric — are reported as the "rounds" metric alongside
+// BenchmarkExperiment regenerates every registered experiment table (the
+// paper's theorem-bound "tables and figures"; see EXPERIMENTS.md), one
+// sub-benchmark per registry entry — new experiments get a benchmark by
+// registering, with no edits here. Simulated CONGEST cost — the model's own
+// complexity measure — is reported as sim-rounds/sim-msgs metrics alongside
 // wall-clock time; run with -v to print the full tables.
-
-func benchTable(b *testing.B, fn func() (*experiments.Table, error)) {
-	b.Helper()
-	for i := 0; i < b.N; i++ {
-		tbl, err := fn()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 && testing.Verbose() {
-			b.Log("\n" + tbl.Format())
-		}
-		for _, row := range tbl.Rows {
-			for _, cell := range row {
-				if cell == "NO" {
-					b.Fatalf("%s: bound violated: %v", tbl.ID, row)
+func BenchmarkExperiment(b *testing.B) {
+	for _, e := range experiments.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			var last *experiments.Result
+			for i := 0; i < b.N; i++ {
+				results, err := experiments.Run([]*experiments.Experiment{e}, experiments.Options{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = results[0]
+				if len(last.Violations) > 0 {
+					b.Fatalf("%s: %v", e.ID, last.Violations)
+				}
+				if i == 0 && testing.Verbose() {
+					b.Log("\n" + last.Table().Format())
 				}
 			}
-		}
+			b.ReportMetric(float64(last.Metrics.SimRounds), "sim-rounds")
+			b.ReportMetric(float64(last.Metrics.SimMessages), "sim-msgs")
+		})
 	}
 }
 
-func BenchmarkE1TreeRouting(b *testing.B)  { benchTable(b, experiments.E1TreeRouting) }
-func BenchmarkE2CoreSlow(b *testing.B)     { benchTable(b, experiments.E2CoreSlow) }
-func BenchmarkE3CoreFast(b *testing.B)     { benchTable(b, experiments.E3CoreFast) }
-func BenchmarkE4FindShortcut(b *testing.B) { benchTable(b, experiments.E4FindShortcut) }
-func BenchmarkE5Genus(b *testing.B)        { benchTable(b, experiments.E5Genus) }
-func BenchmarkE6PartOps(b *testing.B)      { benchTable(b, experiments.E6PartOps) }
-func BenchmarkE7MST(b *testing.B)          { benchTable(b, experiments.E7MST) }
-func BenchmarkE8Doubling(b *testing.B)     { benchTable(b, experiments.E8Doubling) }
-func BenchmarkE9Motivation(b *testing.B)   { benchTable(b, experiments.E9Motivation) }
-func BenchmarkF1RenderBlocks(b *testing.B) { benchTable(b, experiments.F1RenderBlocks) }
+// BenchmarkHarness measures the worker-pool speedup of regenerating the
+// whole registry at smoke size, sequentially vs in parallel.
+func BenchmarkHarness(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "parallel"
+		if workers == 1 {
+			name = "sequential"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunAll(experiments.Options{Workers: workers, Short: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkCentralFindShortcut measures the centralized reference at a scale
 // the round-exact simulator does not reach (quality-only experiments).

@@ -1,12 +1,20 @@
-// Command experiments regenerates every experiment table (E1-E9, F1) from
-// EXPERIMENTS.md and prints them to stdout. Pass experiment IDs to run a
-// subset, e.g.:
+// Command experiments is the front end of the registry-driven experiment
+// harness: it lists, filters and regenerates the paper-reproduction tables
+// (E1-E9, F1) concurrently, and emits them as aligned text, machine-readable
+// JSON, Go benchmark-format lines, or the EXPERIMENTS.md document.
 //
-//	experiments            # run everything
-//	experiments E4 E7 F1   # run a subset
+//	experiments                  # run everything, print tables
+//	experiments E4 E7 F1         # run a subset
+//	experiments -list            # show the registry (no runs)
+//	experiments -json            # machine-readable results on stdout
+//	experiments -bench           # benchstat-compatible lines on stdout
+//	experiments -short -workers 4   # trimmed grids on 4 workers (CI smoke)
+//	experiments -write-docs EXPERIMENTS.md   # regenerate the docs from live runs
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -15,43 +23,90 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
-	fns := map[string]func() (*experiments.Table, error){
-		"E1": experiments.E1TreeRouting,
-		"E2": experiments.E2CoreSlow,
-		"E3": experiments.E3CoreFast,
-		"E4": experiments.E4FindShortcut,
-		"E5": experiments.E5Genus,
-		"E6": experiments.E6PartOps,
-		"E7": experiments.E7MST,
-		"E8": experiments.E8Doubling,
-		"E9": experiments.E9Motivation,
-		"F1": experiments.F1RenderBlocks,
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list registered experiments and exit")
+		jsonOut   = fs.Bool("json", false, "emit results as JSON")
+		benchOut  = fs.Bool("bench", false, "emit results as Go benchmark-format lines")
+		short     = fs.Bool("short", false, "run trimmed smoke-sized parameter grids")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		writeDocs = fs.String("write-docs", "", "regenerate the given EXPERIMENTS.md `path` from this run")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: experiments [flags] [ID ...]\n\nRegenerates the paper-reproduction tables. IDs filter the run (see -list).\n\n")
+		fs.PrintDefaults()
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "F1"}
-	want := order
-	if len(args) > 0 {
-		want = nil
-		for _, a := range args {
-			id := strings.ToUpper(a)
-			if _, ok := fns[id]; !ok {
-				return fmt.Errorf("unknown experiment %q (have %s)", a, strings.Join(order, " "))
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem and usage on stderr.
+		return fmt.Errorf("invalid arguments")
+	}
+	exps, err := experiments.Select(fs.Args())
+	if err != nil {
+		return err
+	}
+	// EXPERIMENTS.md documents the whole registry; a filtered -write-docs
+	// would silently drop every unselected section.
+	if *writeDocs != "" && len(fs.Args()) > 0 {
+		return fmt.Errorf("-write-docs regenerates the full document; drop the ID filter %v", fs.Args())
+	}
+	if *list {
+		for _, e := range exps {
+			fmt.Fprintf(out, "%-3s  %-28s  %s\n", e.ID, e.Ref, e.Title)
+		}
+		return nil
+	}
+	results, err := experiments.Run(exps, experiments.Options{Workers: *workers, Short: *short})
+	if err != nil {
+		return err
+	}
+	switch {
+	case *jsonOut:
+		if err := experiments.WriteJSON(out, results); err != nil {
+			return err
+		}
+	case *benchOut:
+		if err := experiments.WriteBench(out, results); err != nil {
+			return err
+		}
+	default:
+		if *writeDocs == "" {
+			for _, r := range results {
+				fmt.Fprintln(out, r.Table().Format())
 			}
-			want = append(want, id)
 		}
 	}
-	for _, id := range want {
-		tbl, err := fns[id]()
+	if *writeDocs != "" {
+		f, err := os.Create(*writeDocs)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return err
 		}
-		fmt.Println(tbl.Format())
+		if err := experiments.WriteDocs(f, results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", *writeDocs)
+	}
+	var violated []string
+	for _, r := range results {
+		if len(r.Violations) > 0 {
+			violated = append(violated, r.ID)
+		}
+	}
+	if len(violated) > 0 {
+		return fmt.Errorf("bound violations in %s", strings.Join(violated, ", "))
 	}
 	return nil
 }

@@ -11,7 +11,10 @@
 // internal/partops, internal/findshort), and the applications: MST
 // (internal/mst, Lemma 4) and part-parallel aggregation (internal/partagg).
 //
+// Every quantitative claim is reproduced by the registry-driven concurrent
+// experiment harness (internal/experiments, driven by cmd/experiments).
+//
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for the per-theorem reproduction results. The benchmarks in
-// bench_test.go regenerate every experiment table.
+// bench_test.go regenerate every experiment table from the same registry.
 package lcshortcut

@@ -1,0 +1,3 @@
+module lcshortcut
+
+go 1.24

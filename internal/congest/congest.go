@@ -75,6 +75,18 @@ type Stats struct {
 	MaxMessageBits int
 }
 
+// Add accumulates another run's cost into s: counters sum, the max-size
+// watermark is the maximum. The experiment harness uses it to aggregate the
+// total simulated cost of an experiment across its simulation runs.
+func (s *Stats) Add(o Stats) {
+	s.Rounds += o.Rounds
+	s.Messages += o.Messages
+	s.TotalBits += o.TotalBits
+	if o.MaxMessageBits > s.MaxMessageBits {
+		s.MaxMessageBits = o.MaxMessageBits
+	}
+}
+
 // Sentinel errors returned by Run (wrapped with context).
 var (
 	// ErrMaxRounds reports that the watchdog bound was hit.

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/coredist"
+	"lcshortcut/internal/findshort"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+// protocolTree rebuilds the BFS tree the protocols deterministically
+// construct from root 0, recording the construction run's cost.
+func protocolTree(rc *RunContext, g *graph.Graph) (*tree.Tree, error) {
+	infos, stats, err := bfsproto.Run(g, 0, 7, congest.Options{})
+	rc.Record(stats)
+	if err != nil {
+		return nil, err
+	}
+	parents := make([]graph.NodeID, g.NumNodes())
+	for v, info := range infos {
+		parents[v] = info.Parent
+	}
+	return tree.FromParents(g, 0, parents)
+}
+
+// coreInstance is one (graph, partition) workload of the E2/E3/E8 family.
+type coreInstance struct {
+	name string
+	g    *graph.Graph
+	p    *partition.Partition
+}
+
+// coreInstances is the workload family for E2/E3 (and E8's prefix). Short
+// mode keeps the first two instances.
+func coreInstances(short bool) []coreInstance {
+	all := []coreInstance{
+		{"grid12x12/voronoi9", gen.Grid(12, 12), partition.Voronoi(gen.Grid(12, 12), 9, 1)},
+		{"grid16x16/snake4", gen.Grid(16, 16), partition.GridSnake(16, 16, 4)},
+		{"torus10x10/voronoi8", gen.Torus(10, 10), partition.Voronoi(gen.Torus(10, 10), 8, 2)},
+		{"grid14x14/columns", gen.Grid(14, 14), partition.GridColumns(14, 14)},
+	}
+	if short {
+		return all[:2]
+	}
+	return all
+}
+
+func coreInstanceAxis(short bool) GridAxis {
+	a := GridAxis{Name: "instance"}
+	for _, in := range coreInstances(short) {
+		a.Values = append(a.Values, in.name)
+	}
+	return a
+}
+
+func liftShortcut(g *graph.Graph, p *partition.Partition, results []*findshort.Result) *core.Shortcut {
+	states := make([]*coredist.NodeShortcut, len(results))
+	for v, r := range results {
+		states[v] = r.NS
+	}
+	s, _, err := coredist.ToShortcut(g, p, states)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: lift failed: %v", err))
+	}
+	return s
+}

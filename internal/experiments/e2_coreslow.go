@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/coredist"
+)
+
+var expE2 = &Experiment{
+	ID:    "E2",
+	Title: "Lemma 7 (CoreSlow) — congestion ≤ 2c*, ≥ N/2 parts with ≤ 3 blocks, O(Dc) rounds",
+	Ref:   "Lemma 7 (Algorithm 1, §5.3)",
+	Bound: "congestion ≤ 2c*, ≥ N/2 good parts (≤ 3 blocks), rounds ≤ 3D + 6 + (D+1)(2c*+2)",
+	Grid: func(short bool) []GridAxis {
+		return []GridAxis{coreInstanceAxis(short)}
+	},
+	Run: runE2,
+}
+
+// runE2 reproduces Lemma 7: congestion ≤ 2c, ≥ N/2 good parts, O(Dc) rounds.
+func runE2(rc *RunContext) (*Table, error) {
+	t := &Table{
+		Header: []string{"instance", "n", "N", "c*", "congestion", "≤2c*", "good", "≥N/2", "rounds", "D(2c+2)bound"},
+	}
+	for _, in := range coreInstances(rc.Short) {
+		tr, err := protocolTree(rc, in.g)
+		if err != nil {
+			return nil, err
+		}
+		cStar := core.WitnessCongestion(tr, in.p)
+		res := core.CoreSlow(tr, in.p, cStar, nil)
+		good := 0
+		for i := 0; i < in.p.NumParts(); i++ {
+			if res.S.BlockCount(i) <= 3 {
+				good++
+			}
+		}
+		stats, err := rc.Run(in.g, func(ctx *congest.Ctx) error {
+			info, err := bfsproto.Phase(ctx, 0, 7)
+			if err != nil {
+				return err
+			}
+			_, err = coredist.CoreSlowPhase(ctx, info, in.p, cStar, false)
+			return err
+		}, congest.Options{})
+		if err != nil {
+			return nil, err
+		}
+		d := tr.Height()
+		bound := 3*d + 6 + (d+1)*(2*cStar+2)
+		cong := res.S.ShortcutCongestion()
+		t.Rows = append(t.Rows, []string{
+			in.name, itoa(in.g.NumNodes()), itoa(in.p.NumParts()), itoa(cStar),
+			itoa(cong), okStr(cong <= 2*cStar),
+			itoa(good), okStr(2*good >= in.p.NumParts()),
+			itoa(stats.Rounds), itoa(bound),
+		})
+	}
+	return t, nil
+}

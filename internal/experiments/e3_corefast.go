@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/coredist"
+)
+
+var expE3 = &Experiment{
+	ID:    "E3",
+	Title: "Lemma 5 (CoreFast) — congestion ≤ 8c* w.h.p., ≥ N/2 good parts, O(D log n + c) rounds",
+	Ref:   "Lemma 5 (Algorithm 2, §5.4)",
+	Bound: "congestion ≤ 8c* (w.h.p.), ≥ N/2 good parts (≤ 3 blocks)",
+	Grid: func(short bool) []GridAxis {
+		return []GridAxis{coreInstanceAxis(short), axis("seed", "0", "1")}
+	},
+	Run: runE3,
+}
+
+// runE3 reproduces Lemma 5: congestion ≤ 8c w.h.p., ≥ N/2 good parts,
+// O(D log n + c) rounds.
+func runE3(rc *RunContext) (*Table, error) {
+	t := &Table{
+		Header: []string{"instance", "seed", "c*", "congestion", "≤8c*", "good", "≥N/2", "rounds"},
+	}
+	for _, in := range coreInstances(rc.Short) {
+		tr, err := protocolTree(rc, in.g)
+		if err != nil {
+			return nil, err
+		}
+		cStar := core.WitnessCongestion(tr, in.p)
+		for seed := int64(0); seed < 2; seed++ {
+			res := core.CoreFast(tr, in.p, core.FastConfig{C: cStar, Seed: seed})
+			good := 0
+			for i := 0; i < in.p.NumParts(); i++ {
+				if res.S.BlockCount(i) <= 3 {
+					good++
+				}
+			}
+			stats, err := rc.Run(in.g, func(ctx *congest.Ctx) error {
+				info, err := bfsproto.Phase(ctx, 0, seed)
+				if err != nil {
+					return err
+				}
+				_, err = coredist.CoreFastPhase(ctx, info, in.p, coredist.FastParams{C: cStar, ActSeed: seed})
+				return err
+			}, congest.Options{})
+			if err != nil {
+				return nil, err
+			}
+			cong := res.S.ShortcutCongestion()
+			t.Rows = append(t.Rows, []string{
+				in.name, i64(seed), itoa(cStar),
+				itoa(cong), okStr(cong <= 8*cStar),
+				itoa(good), okStr(2*good >= in.p.NumParts()),
+				itoa(stats.Rounds),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/findshort"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/partition"
+)
+
+func e4Parts(short bool) []int {
+	all := []int{2, 4, 8, 16, 32}
+	if short {
+		return all[:3]
+	}
+	return all
+}
+
+var expE4 = &Experiment{
+	ID:    "E4",
+	Title: "Theorem 3 (FindShortcut) — congestion O(c*·log N), block ≤ 3, iterations ≤ O(log N)",
+	Ref:   "Theorem 3",
+	Bound: "block parameter ≤ 3, iterations ≤ ceil(log2 N) + 1 (congestion ratio reported, not checked)",
+	Grid: func(short bool) []GridAxis {
+		a := GridAxis{Name: "N (parts on grid14x14)"}
+		for _, n := range e4Parts(short) {
+			a.Values = append(a.Values, itoa(n))
+		}
+		return []GridAxis{a}
+	},
+	Run: runE4,
+	// Theorem 3's explicit checks live in dedicated columns; the default
+	// "NO"-cell scan would miss numeric drift in block/iters, so check them
+	// directly.
+	Check: checkE4,
+}
+
+// runE4 reproduces Theorem 3: congestion O(c log N), block ≤ 3b, O(log N)
+// iterations, sweeping the part count N.
+func runE4(rc *RunContext) (*Table, error) {
+	t := &Table{
+		Header: []string{"N", "c*", "congestion", "cong/c*", "block", "iters", "ceil(log2N)+1", "rounds"},
+	}
+	g := gen.Grid(14, 14)
+	tr, err := protocolTree(rc, g)
+	if err != nil {
+		return nil, err
+	}
+	for _, numParts := range e4Parts(rc.Short) {
+		p := partition.Voronoi(g, numParts, 5)
+		cStar := core.WitnessCongestion(tr, p)
+		results, stats, ok, err := findshort.Run(g, p, 0, findshort.Config{C: cStar, B: 1, Seed: 9}, congest.Options{})
+		rc.Record(stats)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("experiments: E4 failed at N=%d", numParts)
+		}
+		s := liftShortcut(g, p, results)
+		q := s.Measure()
+		t.Rows = append(t.Rows, []string{
+			itoa(numParts), itoa(cStar), itoa(s.ShortcutCongestion()),
+			f2(float64(s.ShortcutCongestion()) / float64(cStar)),
+			itoa(q.BlockParameter), itoa(results[0].Iterations),
+			itoa(ceilLog2(numParts) + 1), itoa(stats.Rounds),
+		})
+	}
+	return t, nil
+}
+
+// checkE4 enforces Theorem 3's two hard columns: block ≤ 3 and iterations
+// within the ceil(log2 N)+1 budget printed next to them.
+func checkE4(tbl *Table) []string {
+	var out []string
+	for _, row := range tbl.Rows {
+		block, err1 := strconv.Atoi(row[4])
+		iters, err2 := strconv.Atoi(row[5])
+		budget, err3 := strconv.Atoi(row[6])
+		if err1 != nil || err2 != nil || err3 != nil {
+			out = append(out, fmt.Sprintf("E4: unparsable check cells in row %v", row))
+			continue
+		}
+		if block > 3 {
+			out = append(out, fmt.Sprintf("E4: block parameter %d > 3 at N=%s", block, row[0]))
+		}
+		if iters > budget {
+			out = append(out, fmt.Sprintf("E4: iterations %d exceed budget %d at N=%s", iters, budget, row[0]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+)
+
+type e5Instance struct {
+	name  string
+	g     *graph.Graph
+	genus int
+}
+
+func e5Instances(short bool) []e5Instance {
+	all := []e5Instance{
+		{"grid16x16", gen.Grid(16, 16), 0},
+		{"grid16x16+1h", gen.HandledGrid(16, 16, 1), 1},
+		{"grid16x16+2h", gen.HandledGrid(16, 16, 2), 2},
+		{"grid16x16+4h", gen.HandledGrid(16, 16, 4), 4},
+		{"torus12x12", gen.Torus(12, 12), 1},
+	}
+	if short {
+		return all[:3]
+	}
+	return all
+}
+
+var expE5 = &Experiment{
+	ID:    "E5",
+	Title: "Thm 1 + Cor 1 — genus-g graphs: FindShortcut quality vs g·D·logD / logD (no embedding used)",
+	Ref:   "Theorem 1 + Corollary 1",
+	Bound: "congestion vs (g+1)·D·ceil(log2(D+2)) and block parameter vs 3 + ceil(log2(D+2)), reported for comparison",
+	Grid: func(short bool) []GridAxis {
+		a := GridAxis{Name: "graph"}
+		for _, in := range e5Instances(short) {
+			a.Values = append(a.Values, in.name)
+		}
+		return []GridAxis{a}
+	},
+	Run: runE5,
+}
+
+// runE5 reproduces Theorem 1 + Corollary 1: on genus-g graphs (grids with g
+// handles, tori) shortcuts with congestion Õ(gD) and block O(log D) exist
+// and are found without any embedding.
+func runE5(rc *RunContext) (*Table, error) {
+	t := &Table{
+		Header: []string{"graph", "genus≤", "n", "D", "N", "congestion", "gDlogD", "block", "3+logD", "dilation"},
+	}
+	for _, in := range e5Instances(rc.Short) {
+		p := partition.Voronoi(in.g, 10, 4)
+		tr, err := protocolTree(rc, in.g)
+		if err != nil {
+			return nil, err
+		}
+		ar, err := core.FindShortcutAuto(tr, p, 11, false)
+		if err != nil {
+			return nil, err
+		}
+		q := ar.S.Measure()
+		d := tr.Height()
+		logD := ceilLog2(d + 2)
+		gd := (in.genus + 1) * d * logD
+		t.Rows = append(t.Rows, []string{
+			in.name, itoa(in.genus), itoa(in.g.NumNodes()), itoa(d), itoa(p.NumParts()),
+			itoa(ar.S.ShortcutCongestion()), itoa(gd),
+			itoa(q.BlockParameter), itoa(3 + logD), itoa(q.Dilation),
+		})
+	}
+	return t, nil
+}

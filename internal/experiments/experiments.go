@@ -1,779 +1,26 @@
-// Package experiments regenerates every quantitative claim in the paper
-// (the "tables and figures" of this theory paper are its theorem bounds) as
-// printable tables: E1 — Lemma 2 tree routing; E2/E3 — the CoreSlow/CoreFast
-// guarantees (Lemmas 7 and 5); E4 — Theorem 3's FindShortcut quality and
-// round bounds; E5 — Theorem 1/Corollary 1 genus scaling; E6 — Theorem 2
-// part-parallel routing; E7 — Lemma 4 MST vs baselines; E8 — Appendix A
-// doubling; E9 — the §1.2 motivation (part diameter vs graph diameter); and
-// F1 — a rendering of Figure 1's block decomposition.
+// Package experiments is the registry-driven harness that regenerates every
+// quantitative claim in the paper (the "tables and figures" of this theory
+// paper are its theorem bounds): E1 — Lemma 2 tree routing; E2/E3 — the
+// CoreSlow/CoreFast guarantees (Lemmas 7 and 5); E4 — Theorem 3's
+// FindShortcut quality and round bounds; E5 — Theorem 1/Corollary 1 genus
+// scaling; E6 — Theorem 2 part-parallel routing; E7 — Lemma 4 MST vs
+// baselines; E8 — Appendix A doubling; E9 — the §1.2 motivation (part
+// diameter vs graph diameter); and F1 — a rendering of Figure 1's block
+// decomposition.
 //
-// Both cmd/experiments and the repository-root benchmarks drive these
-// functions; EXPERIMENTS.md records their output next to the paper's
-// predicted shapes.
+// Each experiment is a self-describing Experiment value — ID, paper
+// reference, parameter grid, bound predicate, run function — registered in
+// the central registry (one file per experiment, wired up in registry.go).
+// The harness (runner.go) executes any selection of registered experiments
+// on a worker pool; every CONGEST simulation is deterministic per seed, so
+// experiments are embarrassingly parallel and any worker count yields
+// byte-identical tables. Results carry both the formatted table and the
+// machine-readable form (result.go): JSON for tooling and Go
+// benchmark-format lines for benchstat-style perf tracking, with the
+// aggregate simulated cost accounted through congest.Stats.
+//
+// cmd/experiments is the CLI front end (list / run / filter, -json, -bench,
+// -short, -workers, -write-docs); the repository-root benchmarks iterate the
+// same registry. EXPERIMENTS.md is generated from this package's output
+// (docs.go) next to the paper's predicted shapes.
 package experiments
-
-import (
-	"fmt"
-	"strings"
-
-	"lcshortcut/internal/bfsproto"
-	"lcshortcut/internal/congest"
-	"lcshortcut/internal/core"
-	"lcshortcut/internal/coredist"
-	"lcshortcut/internal/findshort"
-	"lcshortcut/internal/gen"
-	"lcshortcut/internal/graph"
-	"lcshortcut/internal/mst"
-	"lcshortcut/internal/partition"
-	"lcshortcut/internal/partops"
-	"lcshortcut/internal/tree"
-)
-
-// Table is one experiment's output: a header and aligned rows.
-type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-}
-
-// Format renders the table with aligned columns.
-func (t *Table) Format() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, c := range row {
-			if len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	line := func(cells []string) {
-		for i, c := range cells {
-			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	line(t.Header)
-	for _, row := range t.Rows {
-		line(row)
-	}
-	return b.String()
-}
-
-func itoa(v int) string    { return fmt.Sprintf("%d", v) }
-func i64(v int64) string   { return fmt.Sprintf("%d", v) }
-func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
-func okStr(ok bool) string { return map[bool]string{true: "yes", false: "NO"}[ok] }
-
-// protocolTree rebuilds the BFS tree the protocols deterministically
-// construct from root 0.
-func protocolTree(g *graph.Graph) (*tree.Tree, error) {
-	infos, _, err := bfsproto.Run(g, 0, 7, congest.Options{})
-	if err != nil {
-		return nil, err
-	}
-	parents := make([]graph.NodeID, g.NumNodes())
-	for v, info := range infos {
-		parents[v] = info.Parent
-	}
-	return tree.FromParents(g, 0, parents)
-}
-
-// E1TreeRouting measures Lemma 2: multi-subtree convergecast+broadcast over
-// the blocks of a constructed shortcut completes within the D + c budget.
-func E1TreeRouting() (*Table, error) {
-	t := &Table{
-		ID:     "E1",
-		Title:  "Lemma 2 — pipelined tree routing in ≤ D + c + 2 rounds per direction",
-		Header: []string{"graph", "n", "N", "depth", "cMax", "budget", "gather+scatter_rounds", "within_bound"},
-	}
-	for _, sz := range []struct{ w, h, parts int }{{8, 8, 6}, {12, 12, 10}, {16, 16, 14}, {20, 10, 8}} {
-		g := gen.Grid(sz.w, sz.h)
-		p := partition.Voronoi(g, sz.parts, 3)
-		base, casted, meta, err := measureCastRounds(g, p)
-		if err != nil {
-			return nil, err
-		}
-		rounds := casted - base
-		bound := 2*(meta.castBudget+1) + 2
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("grid%dx%d", sz.w, sz.h), itoa(g.NumNodes()), itoa(sz.parts),
-			itoa(meta.depth), itoa(meta.cMax), itoa(meta.castBudget),
-			itoa(rounds), okStr(rounds <= bound),
-		})
-	}
-	return t, nil
-}
-
-type castMeta struct{ depth, cMax, castBudget int }
-
-// measureCastRounds runs the standard pipeline once without and once with a
-// gather+scatter pair, returning both round counts.
-func measureCastRounds(g *graph.Graph, p *partition.Partition) (int, int, castMeta, error) {
-	tr, err := protocolTree(g)
-	if err != nil {
-		return 0, 0, castMeta{}, err
-	}
-	cStar := core.WitnessCongestion(tr, p)
-	var meta castMeta
-	run := func(withCast bool) (int, error) {
-		stats, err := congest.Run(g, func(ctx *congest.Ctx) error {
-			info, err := bfsproto.Phase(ctx, 0, 7)
-			if err != nil {
-				return err
-			}
-			ns, err := coredist.CoreSlowPhase(ctx, info, p, cStar, false)
-			if err != nil {
-				return err
-			}
-			m, err := partops.BuildMembership(ctx, ns, p)
-			if err != nil {
-				return err
-			}
-			if err := m.Annotate(ctx); err != nil {
-				return err
-			}
-			meta = castMeta{depth: info.Height, cMax: m.CMax, castBudget: m.CastBudget()}
-			if !withCast {
-				return nil
-			}
-			res, err := m.Gather(ctx, func(i int) partops.Value {
-				return partops.IDVal{V: 1, N: info.Count}
-			}, func(a, b partops.Value) partops.Value {
-				return partops.IDVal{V: a.(partops.IDVal).V + b.(partops.IDVal).V, N: info.Count}
-			}, 0)
-			if err != nil {
-				return err
-			}
-			_, err = m.Scatter(ctx, func(i int) partops.Value { return res[i] }, 0)
-			return err
-		}, congest.Options{})
-		return stats.Rounds, err
-	}
-	base, err := run(false)
-	if err != nil {
-		return 0, 0, meta, err
-	}
-	casted, err := run(true)
-	if err != nil {
-		return 0, 0, meta, err
-	}
-	return base, casted, meta, nil
-}
-
-// coreInstances is the workload family for E2/E3.
-func coreInstances() []struct {
-	name string
-	g    *graph.Graph
-	p    *partition.Partition
-} {
-	return []struct {
-		name string
-		g    *graph.Graph
-		p    *partition.Partition
-	}{
-		{"grid12x12/voronoi9", gen.Grid(12, 12), partition.Voronoi(gen.Grid(12, 12), 9, 1)},
-		{"grid16x16/snake4", gen.Grid(16, 16), partition.GridSnake(16, 16, 4)},
-		{"torus10x10/voronoi8", gen.Torus(10, 10), partition.Voronoi(gen.Torus(10, 10), 8, 2)},
-		{"grid14x14/columns", gen.Grid(14, 14), partition.GridColumns(14, 14)},
-	}
-}
-
-// E2CoreSlow reproduces Lemma 7: congestion ≤ 2c, ≥ N/2 good parts, O(Dc)
-// rounds.
-func E2CoreSlow() (*Table, error) {
-	t := &Table{
-		ID:     "E2",
-		Title:  "Lemma 7 (CoreSlow) — congestion ≤ 2c*, ≥ N/2 parts with ≤ 3 blocks, O(Dc) rounds",
-		Header: []string{"instance", "n", "N", "c*", "congestion", "≤2c*", "good", "≥N/2", "rounds", "D(2c+2)bound"},
-	}
-	for _, in := range coreInstances() {
-		tr, err := protocolTree(in.g)
-		if err != nil {
-			return nil, err
-		}
-		cStar := core.WitnessCongestion(tr, in.p)
-		res := core.CoreSlow(tr, in.p, cStar, nil)
-		good := 0
-		for i := 0; i < in.p.NumParts(); i++ {
-			if res.S.BlockCount(i) <= 3 {
-				good++
-			}
-		}
-		states := make([]*coredist.NodeShortcut, in.g.NumNodes())
-		stats, err := congest.Run(in.g, func(ctx *congest.Ctx) error {
-			info, err := bfsproto.Phase(ctx, 0, 7)
-			if err != nil {
-				return err
-			}
-			ns, err := coredist.CoreSlowPhase(ctx, info, in.p, cStar, false)
-			states[ctx.ID()] = ns
-			return err
-		}, congest.Options{})
-		if err != nil {
-			return nil, err
-		}
-		d := tr.Height()
-		bound := 3*d + 6 + (d+1)*(2*cStar+2)
-		cong := res.S.ShortcutCongestion()
-		t.Rows = append(t.Rows, []string{
-			in.name, itoa(in.g.NumNodes()), itoa(in.p.NumParts()), itoa(cStar),
-			itoa(cong), okStr(cong <= 2*cStar),
-			itoa(good), okStr(2*good >= in.p.NumParts()),
-			itoa(stats.Rounds), itoa(bound),
-		})
-	}
-	return t, nil
-}
-
-// E3CoreFast reproduces Lemma 5: congestion ≤ 8c w.h.p., ≥ N/2 good parts,
-// O(D log n + c) rounds.
-func E3CoreFast() (*Table, error) {
-	t := &Table{
-		ID:     "E3",
-		Title:  "Lemma 5 (CoreFast) — congestion ≤ 8c* w.h.p., ≥ N/2 good parts, O(D log n + c) rounds",
-		Header: []string{"instance", "seed", "c*", "congestion", "≤8c*", "good", "≥N/2", "rounds"},
-	}
-	for _, in := range coreInstances() {
-		tr, err := protocolTree(in.g)
-		if err != nil {
-			return nil, err
-		}
-		cStar := core.WitnessCongestion(tr, in.p)
-		for seed := int64(0); seed < 2; seed++ {
-			res := core.CoreFast(tr, in.p, core.FastConfig{C: cStar, Seed: seed})
-			good := 0
-			for i := 0; i < in.p.NumParts(); i++ {
-				if res.S.BlockCount(i) <= 3 {
-					good++
-				}
-			}
-			stats, err := congest.Run(in.g, func(ctx *congest.Ctx) error {
-				info, err := bfsproto.Phase(ctx, 0, seed)
-				if err != nil {
-					return err
-				}
-				_, err = coredist.CoreFastPhase(ctx, info, in.p, coredist.FastParams{C: cStar, ActSeed: seed})
-				return err
-			}, congest.Options{})
-			if err != nil {
-				return nil, err
-			}
-			cong := res.S.ShortcutCongestion()
-			t.Rows = append(t.Rows, []string{
-				in.name, i64(seed), itoa(cStar),
-				itoa(cong), okStr(cong <= 8*cStar),
-				itoa(good), okStr(2*good >= in.p.NumParts()),
-				itoa(stats.Rounds),
-			})
-		}
-	}
-	return t, nil
-}
-
-// E4FindShortcut reproduces Theorem 3: congestion O(c log N), block ≤ 3b,
-// O(log N) iterations, sweeping the part count N.
-func E4FindShortcut() (*Table, error) {
-	t := &Table{
-		ID:     "E4",
-		Title:  "Theorem 3 (FindShortcut) — congestion O(c*·log N), block ≤ 3, iterations ≤ O(log N)",
-		Header: []string{"N", "c*", "congestion", "cong/c*", "block", "iters", "ceil(log2N)+1", "rounds"},
-	}
-	g := gen.Grid(14, 14)
-	tr, err := protocolTree(g)
-	if err != nil {
-		return nil, err
-	}
-	for _, numParts := range []int{2, 4, 8, 16, 32} {
-		p := partition.Voronoi(g, numParts, 5)
-		cStar := core.WitnessCongestion(tr, p)
-		results, stats, ok, err := findshort.Run(g, p, 0, findshort.Config{C: cStar, B: 1, Seed: 9}, congest.Options{})
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return nil, fmt.Errorf("experiments: E4 failed at N=%d", numParts)
-		}
-		s := liftShortcut(g, p, results)
-		q := s.Measure()
-		t.Rows = append(t.Rows, []string{
-			itoa(numParts), itoa(cStar), itoa(s.ShortcutCongestion()),
-			f2(float64(s.ShortcutCongestion()) / float64(cStar)),
-			itoa(q.BlockParameter), itoa(results[0].Iterations),
-			itoa(ceilLog2(numParts) + 1), itoa(stats.Rounds),
-		})
-	}
-	return t, nil
-}
-
-func liftShortcut(g *graph.Graph, p *partition.Partition, results []*findshort.Result) *core.Shortcut {
-	states := make([]*coredist.NodeShortcut, len(results))
-	for v, r := range results {
-		states[v] = r.NS
-	}
-	s, _, err := coredist.ToShortcut(g, p, states)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: lift failed: %v", err))
-	}
-	return s
-}
-
-// E5Genus reproduces Theorem 1 + Corollary 1: on genus-g graphs (grids with
-// g handles, tori) shortcuts with congestion Õ(gD) and block O(log D) exist
-// and are found without any embedding.
-func E5Genus() (*Table, error) {
-	t := &Table{
-		ID:     "E5",
-		Title:  "Thm 1 + Cor 1 — genus-g graphs: FindShortcut quality vs g·D·logD / logD (no embedding used)",
-		Header: []string{"graph", "genus≤", "n", "D", "N", "congestion", "gDlogD", "block", "3+logD", "dilation"},
-	}
-	type inst struct {
-		name  string
-		g     *graph.Graph
-		genus int
-	}
-	insts := []inst{
-		{"grid16x16", gen.Grid(16, 16), 0},
-		{"grid16x16+1h", gen.HandledGrid(16, 16, 1), 1},
-		{"grid16x16+2h", gen.HandledGrid(16, 16, 2), 2},
-		{"grid16x16+4h", gen.HandledGrid(16, 16, 4), 4},
-		{"torus12x12", gen.Torus(12, 12), 1},
-	}
-	for _, in := range insts {
-		p := partition.Voronoi(in.g, 10, 4)
-		tr, err := protocolTree(in.g)
-		if err != nil {
-			return nil, err
-		}
-		ar, err := core.FindShortcutAuto(tr, p, 11, false)
-		if err != nil {
-			return nil, err
-		}
-		q := ar.S.Measure()
-		d := tr.Height()
-		logD := ceilLog2(d + 2)
-		gd := (in.genus + 1) * d * logD
-		t.Rows = append(t.Rows, []string{
-			in.name, itoa(in.genus), itoa(in.g.NumNodes()), itoa(d), itoa(p.NumParts()),
-			itoa(ar.S.ShortcutCongestion()), itoa(gd),
-			itoa(q.BlockParameter), itoa(3 + logD), itoa(q.Dilation),
-		})
-	}
-	return t, nil
-}
-
-// E6PartOps reproduces Theorem 2: leader election + broadcast + convergecast
-// over a constructed shortcut in O(b(D+c)) rounds.
-func E6PartOps() (*Table, error) {
-	t := &Table{
-		ID:     "E6",
-		Title:  "Theorem 2 — part-parallel leader election / broadcast / convergecast in O(b(D+c)) rounds",
-		Header: []string{"graph", "n", "N", "b", "D", "cMax", "op_rounds", "b(D+cMax)·k bound", "within"},
-	}
-	for _, sz := range []struct{ w, h, parts int }{{10, 10, 7}, {14, 14, 10}} {
-		g := gen.Grid(sz.w, sz.h)
-		p := partition.Voronoi(g, sz.parts, 6)
-		tr, err := protocolTree(g)
-		if err != nil {
-			return nil, err
-		}
-		cStar := core.WitnessCongestion(tr, p)
-		var opRounds, d, cMax, bUsed int
-		runOnce := func(withOps bool) (int, error) {
-			stats, err := congest.Run(g, func(ctx *congest.Ctx) error {
-				info, err := bfsproto.Phase(ctx, 0, 7)
-				if err != nil {
-					return err
-				}
-				fr, ok, err := findshort.Phase(ctx, info, p, findshort.Config{C: cStar, B: 1, NumParts: p.NumParts(), Seed: 7})
-				if err != nil {
-					return err
-				}
-				if !ok {
-					return fmt.Errorf("construction failed")
-				}
-				m, err := partops.BuildMembership(ctx, fr.NS, p)
-				if err != nil {
-					return err
-				}
-				if err := m.Annotate(ctx); err != nil {
-					return err
-				}
-				d, cMax, bUsed = info.Height, m.CMax, 3
-				if !withOps {
-					return nil
-				}
-				leaders, err := m.ElectLeaders(ctx, 3)
-				if err != nil {
-					return err
-				}
-				if _, err := m.BroadcastValue(ctx, leaders, func(i int) int64 { return int64(i) }, 3); err != nil {
-					return err
-				}
-				top := partops.IDVal{V: int64(1) << 61, N: g.NumNodes()}
-				_, err = m.MinToAll(ctx, func(i int) partops.Value {
-					return partops.IDVal{V: int64(ctx.ID()), N: g.NumNodes()}
-				}, top, func(a, b partops.Value) bool { return a.(partops.IDVal).V < b.(partops.IDVal).V }, 3)
-				return err
-			}, congest.Options{})
-			return stats.Rounds, err
-		}
-		base, err := runOnce(false)
-		if err != nil {
-			return nil, err
-		}
-		full, err := runOnce(true)
-		if err != nil {
-			return nil, err
-		}
-		opRounds = full - base
-		// Three ops, each ≈ (3b+2) supersteps of (2(D+cMax+2)+1) rounds.
-		bound := 3 * (3*bUsed + 2) * (2*(d+cMax+2) + 1)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("grid%dx%d", sz.w, sz.h), itoa(g.NumNodes()), itoa(sz.parts),
-			itoa(bUsed), itoa(d), itoa(cMax), itoa(opRounds), itoa(bound), okStr(opRounds <= bound),
-		})
-	}
-	return t, nil
-}
-
-// E7MST reproduces Lemma 4's shape: shortcut-based Boruvka beats the
-// no-shortcut baseline wherever fragment diameters blow up, and both match
-// Kruskal exactly.
-func E7MST() (*Table, error) {
-	t := &Table{
-		ID:     "E7",
-		Title:  "Lemma 4 — MST rounds: shortcuts vs canonical vs no-shortcut (all weights verified vs Kruskal)",
-		Header: []string{"graph", "n", "D", "strategy", "rounds", "phases", "weight_ok"},
-	}
-	type inst struct {
-		name string
-		g    *graph.Graph
-	}
-	lb := gen.LowerBound(6, 12)
-	// Adversarial weights: cheap row edges force path-shaped fragments.
-	for e := 0; e < lb.NumEdges(); e++ {
-		ed := lb.Edge(e)
-		if ed.U < 6*12 && ed.V < 6*12 {
-			lb.SetWeight(e, int64(e+1))
-		} else {
-			lb.SetWeight(e, int64(lb.NumNodes()*lb.NumNodes()+e))
-		}
-	}
-	insts := []inst{
-		{"grid10x10", gen.WithUniqueWeights(gen.Grid(10, 10), 3)},
-		{"torus8x8", gen.WithUniqueWeights(gen.Torus(8, 8), 4)},
-		{"lowerbound6x12", lb},
-	}
-	for _, in := range insts {
-		wantW, _, err := mst.Kruskal(in.g)
-		if err != nil {
-			return nil, err
-		}
-		d := in.g.ApproxDiameter(0)
-		for _, st := range []struct {
-			name string
-			s    mst.Strategy
-		}{
-			{"shortcut", mst.StrategyShortcut},
-			{"canonical", mst.StrategyCanonical},
-			{"noshortcut", mst.StrategyNoShortcut},
-		} {
-			results, stats, err := mst.Run(in.g, 0, 5, mst.Config{Strategy: st.s}, congest.Options{})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				in.name, itoa(in.g.NumNodes()), itoa(d), st.name,
-				itoa(stats.Rounds), itoa(results[0].Phases), okStr(results[0].Weight == wantW),
-			})
-		}
-	}
-	return t, nil
-}
-
-// E8Doubling reproduces Appendix A: the doubling search finds working
-// parameters without prior knowledge, sometimes much better than the
-// theoretical bound, at a modest round overhead.
-func E8Doubling() (*Table, error) {
-	t := &Table{
-		ID:     "E8",
-		Title:  "Appendix A — doubling search: settled estimate vs c*, probes, rounds vs known-parameter run",
-		Header: []string{"instance", "c*", "est", "probes", "auto_rounds", "known_rounds", "overhead"},
-	}
-	for _, in := range coreInstances()[:3] {
-		tr, err := protocolTree(in.g)
-		if err != nil {
-			return nil, err
-		}
-		cStar := core.WitnessCongestion(tr, in.p)
-		var est, probes int
-		autoStats, err := runAuto(in.g, in.p, &est, &probes)
-		if err != nil {
-			return nil, err
-		}
-		_, knownStats, ok, err := findshort.Run(in.g, in.p, 0, findshort.Config{C: cStar, B: 1, Seed: 21}, congest.Options{})
-		if err != nil || !ok {
-			return nil, fmt.Errorf("experiments: E8 known run failed: %v", err)
-		}
-		t.Rows = append(t.Rows, []string{
-			in.name, itoa(cStar), itoa(est), itoa(probes),
-			itoa(autoStats.Rounds), itoa(knownStats.Rounds),
-			f2(float64(autoStats.Rounds) / float64(knownStats.Rounds)),
-		})
-	}
-	return t, nil
-}
-
-func runAuto(g *graph.Graph, p *partition.Partition, est, probes *int) (congest.Stats, error) {
-	ests := make([]int, g.NumNodes())
-	prbs := make([]int, g.NumNodes())
-	stats, err := congest.Run(g, func(ctx *congest.Ctx) error {
-		info, err := bfsproto.Phase(ctx, 0, 21)
-		if err != nil {
-			return err
-		}
-		ar, err := findshort.AutoPhase(ctx, info, p, p.NumParts(), 21, false)
-		if err != nil {
-			return err
-		}
-		ests[ctx.ID()] = ar.Est
-		prbs[ctx.ID()] = ar.Probes
-		return nil
-	}, congest.Options{})
-	if err != nil {
-		return stats, err
-	}
-	*est, *probes = ests[0], prbs[0]
-	return stats, nil
-}
-
-// E9Motivation reproduces the §1.2 scenario: snake parts have internal
-// diameter far above the graph diameter. One per-part min-aggregation over
-// the canonical shortcut costs one gather+scatter pair ≈ 2(D+c*) rounds,
-// while intra-part flooding needs ≥ part-diameter rounds — the gap that
-// motivates shortcuts, with the crossover visible as the snakes lengthen.
-func E9Motivation() (*Table, error) {
-	t := &Table{
-		ID:     "E9",
-		Title:  "§1.2 motivation — per-part aggregation: shortcut blockcast (≈2(D+c*)) vs intra-part flooding (≥ part diameter)",
-		Header: []string{"grid", "N", "graph_D", "part_diam", "pd/D", "blockcast_rounds", "flood_rounds", "shortcut_wins"},
-	}
-	for _, sz := range []struct{ w, h, parts int }{{12, 12, 3}, {16, 16, 2}, {20, 20, 2}, {26, 26, 2}} {
-		g := gen.Grid(sz.w, sz.h)
-		p := partition.GridSnake(sz.w, sz.h, sz.parts)
-		d := g.Diameter()
-		pd := p.MaxPartDiameter(g)
-		blockcast, err := measureCanonicalBlockcast(g, p)
-		if err != nil {
-			return nil, err
-		}
-		flood, err := measurePartFlood(g, p)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%dx%d", sz.w, sz.h), itoa(sz.parts), itoa(d), itoa(pd),
-			f2(float64(pd) / float64(d)), itoa(blockcast), itoa(flood),
-			okStr(blockcast < flood),
-		})
-	}
-	return t, nil
-}
-
-// measureCanonicalBlockcast returns the rounds of one per-part min
-// aggregation (gather to block root + scatter) over the canonical b = 1
-// shortcut, construction excluded.
-func measureCanonicalBlockcast(g *graph.Graph, p *partition.Partition) (int, error) {
-	run := func(withCast bool) (int, error) {
-		stats, err := congest.Run(g, func(ctx *congest.Ctx) error {
-			info, err := bfsproto.Phase(ctx, 0, 13)
-			if err != nil {
-				return err
-			}
-			ns, err := coredist.CanonicalPhase(ctx, info, p)
-			if err != nil {
-				return err
-			}
-			m, err := partops.BuildMembership(ctx, ns, p)
-			if err != nil {
-				return err
-			}
-			if err := m.Annotate(ctx); err != nil {
-				return err
-			}
-			if !withCast {
-				return nil
-			}
-			minC := func(a, b partops.Value) partops.Value {
-				if b.(partops.IDVal).V < a.(partops.IDVal).V {
-					return b
-				}
-				return a
-			}
-			res, err := m.Gather(ctx, func(i int) partops.Value {
-				return partops.IDVal{V: int64(ctx.ID() % 97), N: info.Count}
-			}, minC, 0)
-			if err != nil {
-				return err
-			}
-			_, err = m.Scatter(ctx, func(i int) partops.Value { return res[i] }, 0)
-			return err
-		}, congest.Options{})
-		return stats.Rounds, err
-	}
-	base, err := run(false)
-	if err != nil {
-		return 0, err
-	}
-	full, err := run(true)
-	if err != nil {
-		return 0, err
-	}
-	return full - base, nil
-}
-
-// measurePartFlood returns the rounds the naive strategy needs for the same
-// per-part min aggregation: min-propagation restricted to G[P_i] edges until
-// globally stable (checked every chunk rounds via a global OR).
-func measurePartFlood(g *graph.Graph, p *partition.Partition) (int, error) {
-	const chunk = 8
-	stats, err := congest.Run(g, func(ctx *congest.Ctx) error {
-		info, err := bfsproto.Phase(ctx, 0, 13)
-		if err != nil {
-			return err
-		}
-		// Learn neighbor parts (one announce round via membership build is
-		// overkill here; a plain announce suffices).
-		ctx.SendAll(partops.IDVal{V: int64(p.Part(ctx.ID())), N: info.Count})
-		nbrPart := make(map[graph.NodeID]int64)
-		for _, m := range ctx.StepRound() {
-			nbrPart[m.From] = m.Payload.(partops.IDVal).V
-		}
-		mine := int64(p.Part(ctx.ID()))
-		cur := int64(ctx.ID() % 97)
-		changed := mine != int64(partition.None) // uncovered nodes never transmit
-		for {
-			changedInChunk := false
-			for r := 0; r < chunk; r++ {
-				if changed && mine != int64(partition.None) {
-					for _, a := range ctx.Neighbors() {
-						if nbrPart[a.To] == mine {
-							ctx.Send(a.To, partops.IDVal{V: cur, N: info.Count})
-						}
-					}
-					changed = false
-				}
-				for _, m := range ctx.StepRound() {
-					if v := m.Payload.(partops.IDVal).V; v < cur {
-						cur = v
-						changed = true
-						changedInChunk = true
-					}
-				}
-			}
-			more, err := bfsproto.OrPhase(ctx, info, changedInChunk || changed)
-			if err != nil {
-				return err
-			}
-			if !more {
-				return nil
-			}
-		}
-	}, congest.Options{})
-	if err != nil {
-		return 0, err
-	}
-	// Subtract the BFS prefix and announce round so the figure is the
-	// aggregation cost alone (the OR checks are part of the naive scheme's
-	// termination cost and stay included).
-	prefix, err := bfsOnlyRounds(g)
-	if err != nil {
-		return 0, err
-	}
-	return stats.Rounds - prefix - 1, nil
-}
-
-func bfsOnlyRounds(g *graph.Graph) (int, error) {
-	_, stats, err := bfsproto.Run(g, 0, 13, congest.Options{})
-	return stats.Rounds, err
-}
-
-// F1RenderBlocks renders Figure 1: the block decomposition of one shortcut
-// subgraph on a small grid, ASCII-art style.
-func F1RenderBlocks() (*Table, error) {
-	// A congestion-starved CoreSlow run (c = 1) on two interleaved snakes
-	// shatters each H_i into several block components — the paper's Figure 1
-	// picture, with Steiner vertices (lower-case letters outside '#').
-	const w, h = 12, 12
-	g := gen.Grid(w, h)
-	p := partition.GridSnake(w, h, 3)
-	tr, err := protocolTree(g)
-	if err != nil {
-		return nil, err
-	}
-	res := core.CoreSlow(tr, p, 1, nil)
-	blocks := res.S.Blocks(1)
-	t := &Table{
-		ID:     "F1",
-		Title:  "Figure 1 — block components of a shortcut subgraph H_1 (12x12 grid, 3 snakes, CoreSlow c=1)",
-		Header: []string{"grid(letters: blocks of part 1; # = part vertex outside H_1; . = other)"},
-	}
-	cell := make(map[graph.NodeID]byte)
-	for bi, blk := range blocks {
-		for _, v := range blk.Nodes {
-			cell[v] = byte('a' + bi%26)
-		}
-	}
-	gi := gen.GridIndexer{W: w, H: h}
-	for y := 0; y < h; y++ {
-		var row strings.Builder
-		for x := 0; x < w; x++ {
-			v := gi.Node(x, y)
-			switch {
-			case cell[v] != 0 && p.Part(v) == 1:
-				row.WriteByte(cell[v] - 'a' + 'A') // part vertex inside a block
-			case cell[v] != 0:
-				row.WriteByte(cell[v]) // Steiner vertex of a block
-			case p.Part(v) == 1:
-				row.WriteByte('#')
-			default:
-				row.WriteByte('.')
-			}
-			row.WriteByte(' ')
-		}
-		t.Rows = append(t.Rows, []string{row.String()})
-	}
-	t.Rows = append(t.Rows, []string{fmt.Sprintf("blocks=%d  congestion=%d", len(blocks), res.S.ShortcutCongestion())})
-	return t, nil
-}
-
-// All runs every experiment in order.
-func All() ([]*Table, error) {
-	fns := []func() (*Table, error){
-		E1TreeRouting, E2CoreSlow, E3CoreFast, E4FindShortcut, E5Genus,
-		E6PartOps, E7MST, E8Doubling, E9Motivation, F1RenderBlocks,
-	}
-	out := make([]*Table, 0, len(fns))
-	for _, fn := range fns {
-		tbl, err := fn()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tbl)
-	}
-	return out, nil
-}
-
-func ceilLog2(n int) int {
-	k := 0
-	for v := 1; v < n; v *= 2 {
-		k++
-	}
-	return k
-}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lcshortcut/internal/core"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/partition"
+)
+
+var expF1 = &Experiment{
+	ID:    "F1",
+	Title: "Figure 1 — block components of a shortcut subgraph H_1 (12x12 grid, 3 snakes, CoreSlow c=1)",
+	Ref:   "Figure 1",
+	Bound: "rendering only — no bound checked",
+	Grid: func(short bool) []GridAxis {
+		return []GridAxis{axis("graph", "grid12x12/3 snakes (fixed)")}
+	},
+	Run: runF1,
+}
+
+// runF1 renders Figure 1: the block decomposition of one shortcut subgraph
+// on a small grid, ASCII-art style.
+func runF1(rc *RunContext) (*Table, error) {
+	// A congestion-starved CoreSlow run (c = 1) on two interleaved snakes
+	// shatters each H_i into several block components — the paper's Figure 1
+	// picture, with Steiner vertices (lower-case letters outside '#').
+	const w, h = 12, 12
+	g := gen.Grid(w, h)
+	p := partition.GridSnake(w, h, 3)
+	tr, err := protocolTree(rc, g)
+	if err != nil {
+		return nil, err
+	}
+	res := core.CoreSlow(tr, p, 1, nil)
+	blocks := res.S.Blocks(1)
+	t := &Table{
+		Header: []string{"grid(letters: blocks of part 1; # = part vertex outside H_1; . = other)"},
+	}
+	cell := make(map[graph.NodeID]byte)
+	for bi, blk := range blocks {
+		for _, v := range blk.Nodes {
+			cell[v] = byte('a' + bi%26)
+		}
+	}
+	gi := gen.GridIndexer{W: w, H: h}
+	for y := 0; y < h; y++ {
+		var row strings.Builder
+		for x := 0; x < w; x++ {
+			v := gi.Node(x, y)
+			switch {
+			case cell[v] != 0 && p.Part(v) == 1:
+				row.WriteByte(cell[v] - 'a' + 'A') // part vertex inside a block
+			case cell[v] != 0:
+				row.WriteByte(cell[v]) // Steiner vertex of a block
+			case p.Part(v) == 1:
+				row.WriteByte('#')
+			default:
+				row.WriteByte('.')
+			}
+			row.WriteByte(' ')
+		}
+		t.Rows = append(t.Rows, []string{row.String()})
+	}
+	t.Rows = append(t.Rows, []string{fmt.Sprintf("blocks=%d  congestion=%d", len(blocks), res.S.ShortcutCongestion())})
+	return t, nil
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GridAxis is one axis of an experiment's parameter grid: a named dimension
+// and the values it sweeps, already rendered as strings.
+type GridAxis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// axis is a convenience constructor for grid descriptions.
+func axis(name string, values ...string) GridAxis { return GridAxis{Name: name, Values: values} }
+
+// Experiment is one self-describing, registered experiment: the reproduction
+// of one quantitative claim of the paper. The struct carries everything the
+// harness, the CLI and the documentation generator need — identity, the
+// theorem it reproduces, the parameter grid it sweeps, the bound it checks —
+// plus the run function that regenerates its table.
+type Experiment struct {
+	// ID is the table identifier (E1…E9, F1). Unique within the registry.
+	ID string
+	// Title is the one-line table caption.
+	Title string
+	// Ref names the claim in Haeupler–Izumi–Zuzic (PODC 2016) this
+	// experiment reproduces, e.g. "Lemma 2" or "Theorem 3".
+	Ref string
+	// Bound states, in prose, the predicate the table's check columns
+	// enforce.
+	Bound string
+	// Grid describes the parameter grid for the given mode (short trims the
+	// sweep for smoke runs). Purely descriptive; Run performs the sweep.
+	Grid func(short bool) []GridAxis
+	// Run regenerates the table. It must be deterministic: equal RunContext
+	// modes (and the fixed seeds embedded in each experiment) must produce
+	// byte-identical tables regardless of scheduling, which is what lets the
+	// harness run experiments concurrently.
+	Run func(rc *RunContext) (*Table, error)
+	// Check is the bound predicate: it returns one message per violated
+	// bound in tbl. nil means DefaultCheck.
+	Check func(tbl *Table) []string
+}
+
+// DefaultCheck is the registry-wide bound predicate: every okStr check
+// column renders "NO" on violation, so a table passes iff no cell is "NO".
+func DefaultCheck(tbl *Table) []string {
+	var out []string
+	for _, row := range tbl.Rows {
+		for _, c := range row {
+			if c == "NO" {
+				out = append(out, fmt.Sprintf("%s: bound violated in row %v", tbl.ID, row))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Violations applies the experiment's bound predicate (or DefaultCheck) to
+// one of its tables.
+func (e *Experiment) Violations(tbl *Table) []string {
+	if e.Check != nil {
+		return e.Check(tbl)
+	}
+	return DefaultCheck(tbl)
+}
+
+var (
+	registryByID  = map[string]*Experiment{}
+	registryOrder []*Experiment
+)
+
+// Register adds e to the central registry. It panics on a duplicate or
+// malformed registration — registration happens at init time and a broken
+// registry is a programmer error.
+func Register(e *Experiment) {
+	switch {
+	case e == nil:
+		panic("experiments: Register(nil)")
+	case e.ID == "" || e.Title == "" || e.Ref == "":
+		panic(fmt.Sprintf("experiments: experiment %+v must have ID, Title and Ref", e))
+	case e.Run == nil:
+		panic(fmt.Sprintf("experiments: experiment %s has no Run function", e.ID))
+	case e.Grid == nil:
+		panic(fmt.Sprintf("experiments: experiment %s has no Grid description", e.ID))
+	}
+	if _, dup := registryByID[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate experiment ID %s", e.ID))
+	}
+	registryByID[e.ID] = e
+	registryOrder = append(registryOrder, e)
+}
+
+// All returns every registered experiment in registration order (the paper's
+// presentation order E1…E9, F1).
+func All() []*Experiment {
+	out := make([]*Experiment, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// Get returns the experiment registered under id.
+func Get(id string) (*Experiment, bool) {
+	e, ok := registryByID[id]
+	return e, ok
+}
+
+// IDs returns the registered IDs in registration order.
+func IDs() []string {
+	out := make([]string, len(registryOrder))
+	for i, e := range registryOrder {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Select resolves a list of IDs (case-insensitive) to experiments, in
+// registration order, deduplicated. An empty filter selects everything.
+func Select(ids []string) ([]*Experiment, error) {
+	if len(ids) == 0 {
+		return All(), nil
+	}
+	want := map[string]bool{}
+	for _, id := range ids {
+		canon := strings.ToUpper(id)
+		if _, ok := registryByID[canon]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q (have %v)", id, IDs())
+		}
+		want[canon] = true
+	}
+	var out []*Experiment
+	for _, e := range registryOrder {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// init wires every experiment file's descriptor into the central registry.
+// Package-level vars are initialized before init functions run, so the
+// registration order here — not file order — defines presentation order.
+func init() {
+	for _, e := range []*Experiment{
+		expE1, expE2, expE3, expE4, expE5, expE6, expE7, expE8, expE9, expF1,
+	} {
+		Register(e)
+	}
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// monolithIDs is the complete table inventory of the pre-registry
+// experiments monolith; the registry must cover it.
+var monolithIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "F1"}
+
+func TestRegistryCompleteness(t *testing.T) {
+	if got := IDs(); !reflect.DeepEqual(got, monolithIDs) {
+		t.Fatalf("registry IDs = %v, want %v", got, monolithIDs)
+	}
+	for _, id := range monolithIDs {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		if e.ID != id || e.Title == "" || e.Ref == "" || e.Bound == "" || e.Run == nil || e.Grid == nil {
+			t.Errorf("%s: incomplete self-description: %+v", id, e)
+		}
+		for _, short := range []bool{false, true} {
+			grid := e.Grid(short)
+			if len(grid) == 0 {
+				t.Errorf("%s: empty grid (short=%v)", id, short)
+			}
+			for _, ax := range grid {
+				if ax.Name == "" || len(ax.Values) == 0 {
+					t.Errorf("%s: malformed grid axis %+v (short=%v)", id, ax, short)
+				}
+			}
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndMalformed(t *testing.T) {
+	mustPanic := func(name string, e *Experiment) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%s) did not panic", name)
+			}
+		}()
+		Register(e)
+	}
+	ok := *registryByID["E1"] // shallow copy of a valid experiment
+	mustPanic("duplicate", &ok)
+	noRun := ok
+	noRun.ID, noRun.Run = "EX", nil
+	mustPanic("missing Run", &noRun)
+	noRef := ok
+	noRef.ID, noRef.Ref = "EX", ""
+	mustPanic("missing Ref", &noRef)
+	if _, stray := Get("EX"); stray {
+		t.Fatal("failed registration left a stray registry entry")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	got, err := Select([]string{"e7", "E2", "e2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "E2" || got[1].ID != "E7" {
+		t.Fatalf("Select = %v, want [E2 E7] in registration order", got)
+	}
+	if _, err := Select([]string{"E99"}); err == nil {
+		t.Fatal("Select(E99) did not fail")
+	}
+	all, err := Select(nil)
+	if err != nil || len(all) != len(monolithIDs) {
+		t.Fatalf("Select(nil) = %d experiments, err=%v", len(all), err)
+	}
+}
+
+func TestDefaultCheckFlagsNOCells(t *testing.T) {
+	tbl := &Table{ID: "T", Header: []string{"a", "b"}, Rows: [][]string{{"1", "yes"}, {"2", "NO"}}}
+	if v := DefaultCheck(tbl); len(v) != 1 {
+		t.Fatalf("DefaultCheck = %v, want one violation", v)
+	}
+	tbl.Rows[1][1] = "yes"
+	if v := DefaultCheck(tbl); len(v) != 0 {
+		t.Fatalf("DefaultCheck on clean table = %v", v)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Metrics is the cost of regenerating one experiment: the simulated CONGEST
+// cost summed over every simulation the experiment ran (the model's own
+// complexity measure, deterministic per seed) plus host wall time (the only
+// nondeterministic field — excluded from equality comparisons and from
+// generated docs).
+type Metrics struct {
+	Simulations    int   `json:"simulations"`
+	SimRounds      int   `json:"sim_rounds"`
+	SimMessages    int64 `json:"sim_messages"`
+	SimBits        int64 `json:"sim_bits"`
+	MaxMessageBits int   `json:"max_message_bits"`
+	WallNS         int64 `json:"wall_ns"`
+}
+
+// Result is the machine-readable outcome of one experiment execution: the
+// experiment's self-description, its table, the bound-predicate verdict and
+// the run's cost. It is the JSON unit emitted by `cmd/experiments -json`.
+type Result struct {
+	ID         string     `json:"id"`
+	Title      string     `json:"title"`
+	Ref        string     `json:"ref"`
+	Bound      string     `json:"bound,omitempty"`
+	Grid       []GridAxis `json:"grid,omitempty"`
+	Header     []string   `json:"header"`
+	Rows       [][]string `json:"rows"`
+	Violations []string   `json:"violations,omitempty"`
+	Metrics    Metrics    `json:"metrics"`
+}
+
+// Table reconstructs the formatted table from the result.
+func (r *Result) Table() *Table {
+	return &Table{ID: r.ID, Title: r.Title, Header: r.Header, Rows: r.Rows}
+}
+
+// BenchLine renders the result as one line of Go benchmark output
+// (compatible with `go test -bench` consumers such as benchstat): wall time
+// as ns/op plus the simulated cost as custom unit columns.
+func (r *Result) BenchLine() string {
+	return fmt.Sprintf("BenchmarkExperiment/%s \t%8d\t%12d ns/op\t%10d sim-rounds\t%12d sim-msgs\t%14d sim-bits",
+		r.ID, 1, r.Metrics.WallNS, r.Metrics.SimRounds, r.Metrics.SimMessages, r.Metrics.SimBits)
+}
+
+// WriteJSON writes results as an indented JSON array.
+func WriteJSON(w io.Writer, results []*Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// ReadJSON decodes a JSON array written by WriteJSON.
+func ReadJSON(rd io.Reader) ([]*Result, error) {
+	var out []*Result
+	if err := json.NewDecoder(rd).Decode(&out); err != nil {
+		return nil, fmt.Errorf("experiments: decoding results: %w", err)
+	}
+	return out, nil
+}
+
+// WriteBench writes results in Go benchmark output format, framed by the
+// goos/goarch-free header benchstat tolerates.
+func WriteBench(w io.Writer, results []*Result) error {
+	var b strings.Builder
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		b.WriteString(r.BenchLine())
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
