@@ -8,6 +8,7 @@ import (
 	"lcshortcut/internal/experiments"
 	"lcshortcut/internal/findshort"
 	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
 	"lcshortcut/internal/mst"
 	"lcshortcut/internal/partagg"
 	"lcshortcut/internal/partition"
@@ -141,4 +142,103 @@ func BenchmarkPartAggregate(b *testing.B) {
 		rounds = stats.Rounds
 	}
 	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// legacyBFS reproduces the pre-CSR slice-of-slices BFS (heap-scattered
+// adjacency, freshly allocated dist and queue per call) so the CSR/scratch
+// speedup is measured against the historical layout inside one binary.
+func legacyBFS(adj [][]graph.Arc, src graph.NodeID) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = graph.Unreached
+	}
+	queue := make([]graph.NodeID, 0, len(adj))
+	dist[src] = 0
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, a := range adj[v] {
+			if dist[a.To] == graph.Unreached {
+				dist[a.To] = dist[v] + 1
+				queue = append(queue, a.To)
+			}
+		}
+	}
+	return dist
+}
+
+// BenchmarkGraphBFS measures the traversal core on the largest generator
+// grid/random families in three forms: the pre-CSR layout (legacy), the CSR
+// allocating convenience BFS (alloc), and the pooled-scratch BFSScratch
+// (scratch), whose steady state must stay at 0 allocs/op.
+func BenchmarkGraphBFS(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"grid256x256", gen.Grid(256, 256)},
+		{"er50000", gen.ErdosRenyi(50000, 0.0001, 1)},
+	} {
+		adj := make([][]graph.Arc, bc.g.NumNodes())
+		for v := range adj {
+			adj[v] = bc.g.AppendArcs(nil, v)
+		}
+		b.Run(bc.name+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = legacyBFS(adj, 0)
+			}
+		})
+		b.Run(bc.name+"/alloc", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = bc.g.BFS(0)
+			}
+		})
+		b.Run(bc.name+"/scratch", func(b *testing.B) {
+			s := graph.NewScratch(bc.g.NumNodes())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = bc.g.BFSScratch(s, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkCoreFast measures one centralized CoreFast pass at quality-
+// experiment scale (allocation pressure here multiplies through every
+// FindShortcut iteration).
+func BenchmarkCoreFast(b *testing.B) {
+	g := gen.Grid(64, 64)
+	p := partition.Voronoi(g, 64, 3)
+	tr := tree.BFSTree(g, 0)
+	cStar := core.WitnessCongestion(tr, p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.CoreFast(tr, p, core.FastConfig{C: cStar, Seed: int64(i)})
+	}
+}
+
+// BenchmarkMST measures the centralized MST verifiers (Kruskal and the
+// phase-loop Boruvka) on a large unique-weight grid.
+func BenchmarkMST(b *testing.B) {
+	g := gen.WithUniqueWeights(gen.Grid(128, 128), 7)
+	b.Run("kruskal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mst.Kruskal(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("boruvka", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := mst.BoruvkaCentral(g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

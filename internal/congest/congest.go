@@ -124,10 +124,13 @@ type outMsg struct {
 // send buffer and the round barrier. A Ctx must only be used from the
 // goroutine running its Proc.
 type Ctx struct {
-	id     graph.NodeID
-	g      *graph.Graph
-	run    *runState
-	rng    *rand.Rand
+	id  graph.NodeID
+	g   *graph.Graph
+	run *runState
+	rng *rand.Rand
+	// arcs is the node's adjacency materialized once from the graph's CSR
+	// arrays at run setup, so per-round neighbor scans stay view-cheap.
+	arcs   []graph.Arc
 	out    []outMsg
 	inbox  []Message
 	round  int
@@ -148,8 +151,8 @@ func (c *Ctx) Round() int { return c.round }
 func (c *Ctx) N() int { return c.g.NumNodes() }
 
 // Neighbors returns the adjacency list of this node (arcs carry the global
-// EdgeID of each incident edge). The slice is owned by the graph.
-func (c *Ctx) Neighbors() []graph.Arc { return c.g.Adj(c.id) }
+// EdgeID of each incident edge). The slice is owned by the Ctx.
+func (c *Ctx) Neighbors() []graph.Arc { return c.arcs }
 
 // Degree returns the node's degree.
 func (c *Ctx) Degree() int { return c.g.Degree(c.id) }
@@ -168,7 +171,7 @@ func (c *Ctx) EdgeWeight(id graph.EdgeID) int64 { return c.g.Edge(id).W }
 // code, surfaced as errors from Run).
 func (c *Ctx) Send(to graph.NodeID, p Payload) {
 	idx := -1
-	for i, a := range c.g.Adj(c.id) {
+	for i, a := range c.arcs {
 		if a.To == to {
 			idx = i
 			break
@@ -177,6 +180,12 @@ func (c *Ctx) Send(to graph.NodeID, p Payload) {
 	if idx == -1 {
 		c.fail(fmt.Errorf("%w: node %d sent to non-neighbor %d in round %d", ErrModelViolation, c.id, to, c.round))
 	}
+	c.sendIdx(idx, to, p)
+}
+
+// sendIdx buffers a message to the neighbor at arcs index idx, enforcing the
+// per-edge-direction and message-size budgets.
+func (c *Ctx) sendIdx(idx int, to graph.NodeID, p Payload) {
 	if c.sentAt[idx] == c.round+1 {
 		c.fail(fmt.Errorf("%w: node %d sent twice to neighbor %d in round %d", ErrModelViolation, c.id, to, c.round))
 	}
@@ -187,10 +196,12 @@ func (c *Ctx) Send(to graph.NodeID, p Payload) {
 	c.out = append(c.out, outMsg{to: to, payload: p})
 }
 
-// SendAll sends the same payload to every neighbor this round.
+// SendAll sends the same payload to every neighbor this round. It addresses
+// neighbors by arc index directly, so a broadcast is O(degree) rather than
+// degree scans of the adjacency.
 func (c *Ctx) SendAll(p Payload) {
-	for _, a := range c.g.Adj(c.id) {
-		c.Send(a.To, p)
+	for i, a := range c.arcs {
+		c.sendIdx(i, a.To, p)
 	}
 }
 
@@ -252,6 +263,7 @@ func Run(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 			g:      g,
 			run:    rs,
 			rng:    rand.New(rand.NewSource(mix(opts.Seed, int64(v)))),
+			arcs:   g.AppendArcs(make([]graph.Arc, 0, g.Degree(v)), v),
 			resume: make(chan []Message, 1),
 			sentAt: make([]int, g.Degree(v)),
 		}

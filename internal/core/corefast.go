@@ -38,6 +38,12 @@ const DefaultGamma = 4
 // and block parameter b exists: shortcut-congestion ≤ 8c w.h.p. and at least
 // half of the remaining parts end with block count ≤ 3b.
 func CoreFast(t *tree.Tree, p *partition.Partition, cfg FastConfig) *CoreResult {
+	return coreFast(t, p, cfg, &runScratch{})
+}
+
+// coreFast is CoreFast with an explicit scratch, so FindShortcut's iteration
+// loop can reuse one buffer set across its core calls.
+func coreFast(t *tree.Tree, p *partition.Partition, cfg FastConfig, rs *runScratch) *CoreResult {
 	if cfg.C < 1 {
 		panic(fmt.Sprintf("core: CoreFast needs c >= 1, got %d", cfg.C))
 	}
@@ -66,7 +72,7 @@ func CoreFast(t *tree.Tree, p *partition.Partition, cfg FastConfig) *CoreResult 
 
 	// Pass 1 (Algorithm 2, steps 1-2): determine unusable edges from the
 	// sampled part IDs.
-	lists := make([][]int, n)
+	lists := rs.listsFor(n)
 	for k := len(order) - 1; k >= 0; k-- {
 		v := order[k]
 		lv := gatherList(t, p, v, lists, res.Unusable, cfg.Remaining, active)

@@ -32,12 +32,18 @@ type CoreResult struct {
 // remaining, when non-nil, restricts the run to the parts it marks true;
 // other parts are treated as nonexistent (used by FindShortcut iterations).
 func CoreSlow(t *tree.Tree, p *partition.Partition, c int, remaining []bool) *CoreResult {
+	return coreSlow(t, p, c, remaining, &runScratch{})
+}
+
+// coreSlow is CoreSlow with an explicit scratch, so FindShortcut's iteration
+// loop can reuse one buffer set across its core calls.
+func coreSlow(t *tree.Tree, p *partition.Partition, c int, remaining []bool, rs *runScratch) *CoreResult {
 	if c < 1 {
 		panic(fmt.Sprintf("core: CoreSlow needs c >= 1, got %d", c))
 	}
 	s := NewShortcut(t, p)
 	res := &CoreResult{S: s, Unusable: make([]bool, t.Graph().NumEdges())}
-	lists := make([][]int, t.Graph().NumNodes())
+	lists := rs.listsFor(t.Graph().NumNodes())
 	order := t.BFSOrder()
 	for k := len(order) - 1; k >= 0; k-- {
 		v := order[k]

@@ -1,0 +1,64 @@
+package core
+
+import "testing"
+
+// TestDiffCoreFastVsCoreSlow is the differential regression guard for the
+// scratch-pooling refactor: on identical seeded instances, the randomized and
+// deterministic core subroutines must both deliver their lemma guarantees,
+// and their measured qualities must agree within the paper's constant factor
+// (CoreFast's congestion cap is 8c against CoreSlow's 2c — a factor of 4).
+func TestDiffCoreFastVsCoreSlow(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		_, tr, p := randomInstance(seed * 131)
+		cStar := WitnessCongestion(tr, p)
+		slow := CoreSlow(tr, p, cStar, nil)
+		fast := CoreFast(tr, p, FastConfig{C: cStar, Seed: seed})
+
+		slowC := slow.S.ShortcutCongestion()
+		fastC := fast.S.ShortcutCongestion()
+		if slowC > 2*cStar {
+			t.Fatalf("seed %d: CoreSlow congestion %d > 2c* = %d", seed, slowC, 2*cStar)
+		}
+		if fastC > 8*cStar {
+			t.Fatalf("seed %d: CoreFast congestion %d > 8c* = %d", seed, fastC, 8*cStar)
+		}
+		if fastC > 4*slowC && fastC > 8 { // tiny instances round up to constants
+			t.Fatalf("seed %d: CoreFast congestion %d exceeds 4x CoreSlow's %d", seed, fastC, slowC)
+		}
+		for name, res := range map[string]*CoreResult{"slow": slow, "fast": fast} {
+			good := 0
+			for i := 0; i < p.NumParts(); i++ {
+				if res.S.BlockCount(i) <= 3 {
+					good++
+				}
+			}
+			if 2*good < p.NumParts() {
+				t.Fatalf("seed %d: %s fixed only %d of %d parts", seed, name, good, p.NumParts())
+			}
+		}
+
+		// End to end: both FindShortcut variants must terminate with block
+		// parameter ≤ 3B and congestion within their per-iteration cap times
+		// the iteration count.
+		for _, useSlow := range []bool{false, true} {
+			fr, err := FindShortcut(tr, p, FindConfig{C: cStar, B: 1, Seed: seed, UseSlow: useSlow})
+			if err != nil {
+				t.Fatalf("seed %d useSlow=%v: %v", seed, useSlow, err)
+			}
+			congCap := 8 * cStar * fr.Iterations
+			if useSlow {
+				congCap = 2 * cStar * fr.Iterations
+			}
+			q := fr.S.Measure()
+			if q.BlockParameter > 3 {
+				t.Fatalf("seed %d useSlow=%v: block parameter %d > 3", seed, useSlow, q.BlockParameter)
+			}
+			if sc := fr.S.ShortcutCongestion(); sc > congCap {
+				t.Fatalf("seed %d useSlow=%v: congestion %d > cap %d", seed, useSlow, sc, congCap)
+			}
+			if q.Dilation > q.BlockParameter*(2*tr.Height()+1) {
+				t.Fatalf("seed %d useSlow=%v: dilation %d exceeds Lemma 1 bound", seed, useSlow, q.Dilation)
+			}
+		}
+	}
+}

@@ -66,6 +66,8 @@ func FindShortcut(t *tree.Tree, p *partition.Partition, cfg FindConfig) (*FindRe
 	for i := range remaining {
 		remaining[i] = true
 	}
+	rs := &runScratch{}
+	goodNow := make([]bool, n)
 	left := n
 	for left > 0 {
 		if result.Iterations >= budget {
@@ -74,18 +76,20 @@ func FindShortcut(t *tree.Tree, p *partition.Partition, cfg FindConfig) (*FindRe
 		}
 		var cr *CoreResult
 		if cfg.UseSlow {
-			cr = CoreSlow(t, p, cfg.C, remaining)
+			cr = coreSlow(t, p, cfg.C, remaining, rs)
 		} else {
-			cr = CoreFast(t, p, FastConfig{
+			cr = coreFast(t, p, FastConfig{
 				C:         cfg.C,
 				Seed:      cfg.Seed + int64(result.Iterations),
 				Gamma:     cfg.Gamma,
 				Remaining: remaining,
-			})
+			}, rs)
 		}
-		counts := blockCountsCoreOutput(cr.S, remaining)
+		counts := blockCounts(cr.S, remaining, rs)
 		good := 0
-		goodNow := make([]bool, n)
+		for i := range goodNow {
+			goodNow[i] = false
+		}
 		for i := 0; i < n; i++ {
 			if remaining[i] && counts[i] <= 3*cfg.B {
 				goodNow[i] = true
@@ -161,20 +165,21 @@ func FindShortcutAuto(t *tree.Tree, p *partition.Partition, seed int64, useSlow 
 // incident H_i edge. The general Shortcut.BlockCount does not need the
 // precondition and is used to cross-check this in tests.
 func blockCountsCoreOutput(s *Shortcut, remaining []bool) []int {
+	// The scratch is function-local, so its counts buffer is caller-owned.
+	return blockCounts(s, remaining, &runScratch{})
+}
+
+// blockCounts is blockCountsCoreOutput writing into rs's buffers; the
+// returned slice is owned by rs and valid until its next use.
+func blockCounts(s *Shortcut, remaining []bool, rs *runScratch) []int {
 	nParts := s.p.NumParts()
-	edgeCnt := make([]int, nParts)
-	touched := make([]int, nParts)
-	isolated := make([]int, nParts)
+	edgeCnt, touched, isolated, stamp := rs.partCounters(nParts)
 	for _, parts := range s.edgeParts {
 		for _, i := range parts {
 			edgeCnt[i]++
 		}
 	}
 	t := s.t
-	stamp := make([]int, nParts)
-	for i := range stamp {
-		stamp[i] = -1
-	}
 	for v := 0; v < t.Graph().NumNodes(); v++ {
 		mark := func(e graph.EdgeID) {
 			for _, i := range s.edgeParts[e] {
@@ -194,7 +199,7 @@ func blockCountsCoreOutput(s *Shortcut, remaining []bool) []int {
 			isolated[i]++
 		}
 	}
-	out := make([]int, nParts)
+	out := rs.countsFor(nParts)
 	for i := range out {
 		if remaining == nil || remaining[i] {
 			out[i] = touched[i] - edgeCnt[i] + isolated[i]

@@ -232,3 +232,102 @@ func TestPropBlockStructure(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// famInstance is one generated graph paired with a connected partition.
+type famInstance struct {
+	g *graph.Graph
+	p *partition.Partition
+}
+
+// familyInstances builds one seeded instance of every internal/gen topology
+// family, paired with a connected partition (Voronoi regions, or the
+// generator's own decomposition where one exists).
+func familyInstances(seed int64) map[string]famInstance {
+	rng := rand.New(rand.NewSource(seed))
+	out := map[string]famInstance{}
+	vor := func(g *graph.Graph, parts int) famInstance {
+		if parts > g.NumNodes() {
+			parts = g.NumNodes()
+		}
+		return famInstance{g, partition.Voronoi(g, parts, rng.Int63())}
+	}
+	out["grid"] = vor(gen.Grid(3+rng.Intn(8), 3+rng.Intn(8)), 2+rng.Intn(6))
+	out["torus"] = vor(gen.Torus(3+rng.Intn(5), 3+rng.Intn(5)), 2+rng.Intn(6))
+	out["handled"] = vor(gen.HandledGrid(4+rng.Intn(5), 4+rng.Intn(5), 1+rng.Intn(3)), 2+rng.Intn(6))
+	out["path"] = vor(gen.Path(4+rng.Intn(40)), 2+rng.Intn(4))
+	out["ring"] = vor(gen.Ring(4+rng.Intn(40)), 2+rng.Intn(4))
+	out["star"] = vor(gen.Star(4+rng.Intn(40)), 2+rng.Intn(4))
+	out["binarytree"] = vor(gen.CompleteBinaryTree(2+rng.Intn(4)), 2+rng.Intn(5))
+	out["randomtree"] = vor(gen.RandomTree(5+rng.Intn(50), rng.Int63()), 2+rng.Intn(6))
+	out["caterpillar"] = vor(gen.Caterpillar(3+rng.Intn(8), 1+rng.Intn(3)), 2+rng.Intn(4))
+	out["lollipop"] = vor(gen.Lollipop(4+rng.Intn(6), 3+rng.Intn(10)), 2+rng.Intn(4))
+	out["er"] = vor(gen.ErdosRenyi(10+rng.Intn(40), 0.05+rng.Float64()*0.1, rng.Int63()), 2+rng.Intn(6))
+	out["outerplanar"] = vor(gen.OuterplanarTriangulation(5+rng.Intn(40), rng.Int63()), 2+rng.Intn(6))
+	out["pathpower"] = vor(gen.PathPower(8+rng.Intn(30), 2+rng.Intn(3)), 2+rng.Intn(5))
+	out["ringofcliques"] = vor(gen.RingOfCliques(3+rng.Intn(4), 2+rng.Intn(4)), 2+rng.Intn(4))
+	numPaths, pathLen := 2+rng.Intn(4), 3+rng.Intn(6)
+	lb := gen.LowerBound(numPaths, pathLen)
+	lbp, err := partition.FromParts(lb.NumNodes(), gen.LowerBoundPaths(numPaths, pathLen))
+	if err != nil {
+		panic(err)
+	}
+	out["lowerbound"] = famInstance{lb, lbp}
+	return out
+}
+
+// TestPropAllFamiliesShortcutInvariants sweeps every internal/gen topology
+// family with random sizes and seeds and asserts the paper's structural
+// invariants on constructed shortcuts:
+//
+//  1. the congestion reported by CanonicalWitness matches an independent
+//     recount — both WitnessCongestion and a direct re-tally of the
+//     materialized witness's per-edge part lists;
+//  2. the partition is valid and every FindShortcut output is structurally
+//     valid with block parameter ≤ 3 (Theorem 3 at the witness parameters);
+//  3. each part's communication subgraph G[P_i] + H_i keeps the part
+//     connected (finite PartDiameter), for the witness and the constructed
+//     shortcut alike.
+func TestPropAllFamiliesShortcutInvariants(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for name, inst := range familyInstances(seed*77 + 5) {
+			g, p := inst.g, inst.p
+			t.Run(name, func(t *testing.T) {
+				if err := p.Validate(g); err != nil {
+					t.Fatalf("seed %d: invalid partition: %v", seed, err)
+				}
+				tr := tree.BFSTree(g, int(seed)%g.NumNodes())
+				ws, wc := CanonicalWitness(tr, p)
+				if got := WitnessCongestion(tr, p); got != wc {
+					t.Fatalf("seed %d: CanonicalWitness congestion %d, WitnessCongestion %d", seed, wc, got)
+				}
+				recount := 0
+				for e := 0; e < g.NumEdges(); e++ {
+					if l := len(ws.PartsOn(e)); l > recount {
+						recount = l
+					}
+				}
+				if recount != wc {
+					t.Fatalf("seed %d: witness congestion %d, per-edge recount %d", seed, wc, recount)
+				}
+				fr, err := FindShortcut(tr, p, FindConfig{C: wc, B: 1, Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: FindShortcut: %v", seed, err)
+				}
+				if err := fr.S.Validate(); err != nil {
+					t.Fatalf("seed %d: invalid shortcut: %v", seed, err)
+				}
+				if bp := fr.S.BlockParameter(); bp > 3 {
+					t.Fatalf("seed %d: block parameter %d > 3", seed, bp)
+				}
+				for i := 0; i < p.NumParts(); i++ {
+					if d := ws.PartDiameter(i); d == graph.Unreached {
+						t.Fatalf("seed %d: witness disconnects part %d", seed, i)
+					}
+					if d := fr.S.PartDiameter(i); d == graph.Unreached {
+						t.Fatalf("seed %d: constructed shortcut disconnects part %d", seed, i)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+// runScratch bundles the per-vertex and per-part working buffers the core
+// subroutines need — the bottom-up list table of CoreSlow/CoreFast and the
+// counting arrays of the single-pass block counter — so FindShortcut's
+// iteration loop reuses one set of buffers instead of reallocating them every
+// core+verification round. Data that outlives a call (the Shortcut, the
+// Unusable bitmap, merged part lists adopted via SetParts) is still allocated
+// fresh; only write-once-per-call working state lives here.
+type runScratch struct {
+	lists    [][]int
+	edgeCnt  []int
+	touched  []int
+	isolated []int
+	stamp    []int
+	counts   []int
+}
+
+// listsFor returns the per-vertex list table, grown to n entries and reset to
+// all-nil.
+func (rs *runScratch) listsFor(n int) [][]int {
+	if cap(rs.lists) < n {
+		rs.lists = make([][]int, n)
+	}
+	rs.lists = rs.lists[:n]
+	for i := range rs.lists {
+		rs.lists[i] = nil
+	}
+	return rs.lists
+}
+
+// partCounters returns the four per-part counting arrays of the block
+// counter, zeroed (stamp reset to -1), grown to nParts entries.
+func (rs *runScratch) partCounters(nParts int) (edgeCnt, touched, isolated, stamp []int) {
+	grow := func(buf []int, fill int) []int {
+		if cap(buf) < nParts {
+			buf = make([]int, nParts)
+		}
+		buf = buf[:nParts]
+		for i := range buf {
+			buf[i] = fill
+		}
+		return buf
+	}
+	rs.edgeCnt = grow(rs.edgeCnt, 0)
+	rs.touched = grow(rs.touched, 0)
+	rs.isolated = grow(rs.isolated, 0)
+	rs.stamp = grow(rs.stamp, -1)
+	return rs.edgeCnt, rs.touched, rs.isolated, rs.stamp
+}
+
+// countsFor returns the block-count output buffer, zeroed, grown to nParts.
+func (rs *runScratch) countsFor(nParts int) []int {
+	if cap(rs.counts) < nParts {
+		rs.counts = make([]int, nParts)
+	}
+	rs.counts = rs.counts[:nParts]
+	for i := range rs.counts {
+		rs.counts[i] = 0
+	}
+	return rs.counts
+}

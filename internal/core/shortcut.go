@@ -286,9 +286,10 @@ func (s *Shortcut) partAdjacency(i int) ([][]int, []graph.NodeID) {
 		}
 	}
 	for _, v := range s.p.Nodes(i) {
-		for _, a := range g.Adj(v) {
-			if s.p.Part(a.To) == i && a.To > v {
-				addEdge(v, a.To)
+		to, _ := g.Arcs(v)
+		for _, wi := range to {
+			if w := graph.NodeID(wi); s.p.Part(w) == i && w > v {
+				addEdge(v, w)
 			}
 		}
 	}

@@ -90,7 +90,11 @@ func measureCastRounds(rc *RunContext, g *graph.Graph, p *partition.Partition) (
 			if err := m.Annotate(ctx); err != nil {
 				return err
 			}
-			meta = castMeta{depth: info.Height, cMax: m.CMax, castBudget: m.CastBudget()}
+			// The values are globally agreed; only node 0 records them so the
+			// per-node closure stays race-free.
+			if ctx.ID() == 0 {
+				meta = castMeta{depth: info.Height, cMax: m.CMax, castBudget: m.CastBudget()}
+			}
 			if !withCast {
 				return nil
 			}

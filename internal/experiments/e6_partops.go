@@ -72,7 +72,11 @@ func runE6(rc *RunContext) (*Table, error) {
 				if err := m.Annotate(ctx); err != nil {
 					return err
 				}
-				d, cMax, bUsed = info.Height, m.CMax, 3
+				// Globally agreed values; only node 0 records them so the
+				// per-node closure stays race-free.
+				if ctx.ID() == 0 {
+					d, cMax, bUsed = info.Height, m.CMax, 3
+				}
 				if !withOps {
 					return nil
 				}

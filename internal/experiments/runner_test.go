@@ -126,3 +126,30 @@ func TestWriteDocs(t *testing.T) {
 		t.Error("docs contain wall-clock data; regeneration would not be byte-stable")
 	}
 }
+
+// TestGoldenJSONDeterminism is the byte-level golden contract behind
+// `cmd/experiments -short -json`: modulo the wall-clock metric (the one field
+// documented as nondeterministic and zeroed here exactly as in
+// TestParallelMatchesSequential), the emitted JSON must be byte-identical
+// whether the registry ran on one worker or eight — the CSR graph core and
+// scratch pooling must not leak scheduling into any table, grid or metric.
+func TestGoldenJSONDeterminism(t *testing.T) {
+	encode := func(workers int) []byte {
+		t.Helper()
+		results, err := RunAll(Options{Workers: workers, Short: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripWall(results)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, results); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := encode(1)
+	eight := encode(8)
+	if !bytes.Equal(one, eight) {
+		t.Fatalf("-workers=1 and -workers=8 JSON differ:\n--- workers=1\n%s\n--- workers=8\n%s", one, eight)
+	}
+}

@@ -31,8 +31,12 @@ func (gi GridIndexer) Coords(v graph.NodeID) (x, y int) { return v % gi.W, v / g
 
 // Grid returns the W×H planar grid graph (genus 0). Node (x, y) is adjacent
 // to (x±1, y) and (x, y±1).
-func Grid(w, h int) *graph.Graph {
-	g := graph.New(w * h)
+func Grid(w, h int) *graph.Graph { return gridBuilder(w, h).Finalize() }
+
+// gridBuilder is the unfinalized form of Grid, shared with generators that
+// extend a grid with extra edges before finalizing.
+func gridBuilder(w, h int) *graph.Builder {
+	g := graph.NewBuilder(w * h)
 	gi := GridIndexer{W: w, H: h}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -53,7 +57,7 @@ func Torus(w, h int) *graph.Graph {
 	if w < 3 || h < 3 {
 		panic(fmt.Sprintf("gen: torus needs w,h >= 3, got %dx%d", w, h))
 	}
-	g := graph.New(w * h)
+	g := graph.NewBuilder(w * h)
 	gi := GridIndexer{W: w, H: h}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -61,7 +65,7 @@ func Torus(w, h int) *graph.Graph {
 			g.MustAddEdge(gi.Node(x, y), gi.Node(x, (y+1)%h), 1)
 		}
 	}
-	return g
+	return g.Finalize()
 }
 
 // HandledGrid returns a W×H grid with `handles` extra long-range edges, each
@@ -69,7 +73,7 @@ func Torus(w, h int) *graph.Graph {
 // yields a graph of genus at most k, so the result has genus ≤ handles; this
 // is the controlled genus-g family used by the E5 experiment.
 func HandledGrid(w, h, handles int) *graph.Graph {
-	g := Grid(w, h)
+	g := gridBuilder(w, h)
 	gi := GridIndexer{W: w, H: h}
 	added := 0
 	for i := 0; added < handles; i++ {
@@ -96,12 +100,14 @@ func HandledGrid(w, h, handles int) *graph.Graph {
 			}
 		}
 	}
-	return g
+	return g.Finalize()
 }
 
 // Path returns the path graph on n vertices (0-1-2-...-(n-1)).
-func Path(n int) *graph.Graph {
-	g := graph.New(n)
+func Path(n int) *graph.Graph { return pathBuilder(n).Finalize() }
+
+func pathBuilder(n int) *graph.Builder {
+	g := graph.NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
 		g.MustAddEdge(i, i+1, 1)
 	}
@@ -109,50 +115,54 @@ func Path(n int) *graph.Graph {
 }
 
 // Ring returns the cycle graph on n ≥ 3 vertices.
-func Ring(n int) *graph.Graph {
+func Ring(n int) *graph.Graph { return ringBuilder(n).Finalize() }
+
+// ringBuilder is the unfinalized form of Ring, shared with generators that
+// triangulate or otherwise extend a cycle before finalizing.
+func ringBuilder(n int) *graph.Builder {
 	if n < 3 {
 		panic(fmt.Sprintf("gen: ring needs n >= 3, got %d", n))
 	}
-	g := Path(n)
+	g := pathBuilder(n)
 	g.MustAddEdge(n-1, 0, 1)
 	return g
 }
 
 // Star returns the star graph: center 0 connected to 1..n-1.
 func Star(n int) *graph.Graph {
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(0, i, 1)
 	}
-	return g
+	return g.Finalize()
 }
 
 // CompleteBinaryTree returns the complete binary tree of the given depth
 // (depth 0 is a single root). Node i has children 2i+1 and 2i+2.
 func CompleteBinaryTree(depth int) *graph.Graph {
 	n := (1 << (depth + 1)) - 1
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(i, (i-1)/2, 1)
 	}
-	return g
+	return g.Finalize()
 }
 
 // RandomTree returns a uniformly-attached random tree on n vertices: vertex i
 // attaches to a uniformly random earlier vertex.
 func RandomTree(n int, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(i, rng.Intn(i), 1)
 	}
-	return g
+	return g.Finalize()
 }
 
 // Caterpillar returns a caterpillar: a spine path of the given length with
 // legs pendant vertices attached to every spine vertex.
 func Caterpillar(spine, legs int) *graph.Graph {
-	g := graph.New(spine * (1 + legs))
+	g := graph.NewBuilder(spine * (1 + legs))
 	for i := 0; i+1 < spine; i++ {
 		g.MustAddEdge(i, i+1, 1)
 	}
@@ -163,14 +173,14 @@ func Caterpillar(spine, legs int) *graph.Graph {
 			next++
 		}
 	}
-	return g
+	return g.Finalize()
 }
 
 // Lollipop returns a clique of cliqueSize vertices with a path of pathLen
 // vertices hanging off vertex 0. Its diameter is pathLen+1 while the clique
 // part has diameter 1 — a stress case for per-part diameters.
 func Lollipop(cliqueSize, pathLen int) *graph.Graph {
-	g := graph.New(cliqueSize + pathLen)
+	g := graph.NewBuilder(cliqueSize + pathLen)
 	for i := 0; i < cliqueSize; i++ {
 		for j := i + 1; j < cliqueSize; j++ {
 			g.MustAddEdge(i, j, 1)
@@ -181,7 +191,7 @@ func Lollipop(cliqueSize, pathLen int) *graph.Graph {
 		g.MustAddEdge(prev, cliqueSize+i, 1)
 		prev = cliqueSize + i
 	}
-	return g
+	return g.Finalize()
 }
 
 // ErdosRenyi returns a connected G(n, p)-style random graph: a random tree
@@ -189,7 +199,7 @@ func Lollipop(cliqueSize, pathLen int) *graph.Graph {
 // with probability p.
 func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(i, rng.Intn(i), 1)
 	}
@@ -200,7 +210,7 @@ func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
 			}
 		}
 	}
-	return g
+	return g.Finalize()
 }
 
 // OuterplanarTriangulation returns a random maximal outerplanar graph
@@ -212,7 +222,7 @@ func OuterplanarTriangulation(n int, seed int64) *graph.Graph {
 		panic(fmt.Sprintf("gen: triangulation needs n >= 3, got %d", n))
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := Ring(n)
+	g := ringBuilder(n)
 	var split func(lo, hi int)
 	split = func(lo, hi int) {
 		if hi-lo < 2 {
@@ -229,20 +239,20 @@ func OuterplanarTriangulation(n int, seed int64) *graph.Graph {
 		split(mid, hi)
 	}
 	split(0, n-1)
-	return g
+	return g.Finalize()
 }
 
 // PathPower returns the k-th power of a path on n vertices: i~j iff
 // 0 < |i-j| ≤ k. Its pathwidth is exactly k, making it the controlled
 // bounded-pathwidth family mentioned in the paper's Section 1.3.
 func PathPower(n, k int) *graph.Graph {
-	g := graph.New(n)
+	g := graph.NewBuilder(n)
 	for i := 0; i < n; i++ {
 		for d := 1; d <= k && i+d < n; d++ {
 			g.MustAddEdge(i, i+d, 1)
 		}
 	}
-	return g
+	return g.Finalize()
 }
 
 // LowerBound returns the Peleg–Rubinovich style hard instance behind the
@@ -266,7 +276,7 @@ func LowerBound(numPaths, pathLen int) *graph.Graph {
 	}
 	treeN := 2*leaves - 1
 	base := numPaths * pathLen
-	g := graph.New(base + treeN)
+	g := graph.NewBuilder(base + treeN)
 	pathNode := func(p, j int) graph.NodeID { return p*pathLen + j }
 	treeNode := func(i int) graph.NodeID { return base + i } // heap-indexed
 	for p := 0; p < numPaths; p++ {
@@ -283,7 +293,7 @@ func LowerBound(numPaths, pathLen int) *graph.Graph {
 			g.MustAddEdge(leaf, pathNode(p, j), 1)
 		}
 	}
-	return g
+	return g.Finalize()
 }
 
 // LowerBoundPaths returns the part decomposition of a LowerBound graph (one
@@ -306,7 +316,7 @@ func RingOfCliques(k, s int) *graph.Graph {
 	if k < 3 || s < 1 {
 		panic(fmt.Sprintf("gen: ring of cliques needs k >= 3, s >= 1, got %d,%d", k, s))
 	}
-	g := graph.New(k * s)
+	g := graph.NewBuilder(k * s)
 	for c := 0; c < k; c++ {
 		off := c * s
 		for i := 0; i < s; i++ {
@@ -316,7 +326,7 @@ func RingOfCliques(k, s int) *graph.Graph {
 		}
 		g.MustAddEdge(off, ((c+1)%k)*s, 1)
 	}
-	return g
+	return g.Finalize()
 }
 
 // WithRandomWeights assigns each edge an independent uniform weight in

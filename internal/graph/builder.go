@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadEdge is returned by Builder.AddEdge for self loops, duplicate edges,
+// and endpoints outside [0, NumNodes).
+var ErrBadEdge = errors.New("graph: invalid edge")
+
+// Builder accumulates the edges of a graph and lays them out in CSR form with
+// Finalize. A Builder validates eagerly (self loops, range, duplicates), so
+// Finalize cannot fail. The zero value is not usable; construct with
+// NewBuilder. A Builder must not be used after Finalize.
+type Builder struct {
+	n     int
+	edges []Edge
+	seen  map[[2]NodeID]EdgeID
+}
+
+// NewBuilder returns a Builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	if n > math.MaxInt32-1 {
+		panic(fmt.Sprintf("graph: vertex count %d exceeds the CSR int32 index space", n))
+	}
+	return &Builder{
+		n:    n,
+		seen: make(map[[2]NodeID]EdgeID, n),
+	}
+}
+
+// NumNodes returns the number of vertices.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumEdges returns the number of edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddEdge inserts the undirected edge {u, v} with weight w and returns its
+// EdgeID (dense, in insertion order). It rejects self loops, out-of-range
+// endpoints and duplicates.
+func (b *Builder) AddEdge(u, v NodeID, w int64) (EdgeID, error) {
+	switch {
+	case u == v:
+		return 0, fmt.Errorf("%w: self loop at %d", ErrBadEdge, u)
+	case u < 0 || u >= b.n || v < 0 || v >= b.n:
+		return 0, fmt.Errorf("%w: endpoints (%d,%d) out of range [0,%d)", ErrBadEdge, u, v, b.n)
+	}
+	key := edgeKey(u, v)
+	if _, dup := b.seen[key]; dup {
+		return 0, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadEdge, u, v)
+	}
+	if 2*(len(b.edges)+1) > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: edge count exceeds the CSR int32 index space", ErrBadEdge)
+	}
+	id := len(b.edges)
+	b.edges = append(b.edges, Edge{U: u, V: v, W: w})
+	b.seen[key] = id
+	return id, nil
+}
+
+// MustAddEdge is AddEdge for statically well-formed construction code (e.g.
+// generators); it panics on the programmer errors AddEdge reports.
+func (b *Builder) MustAddEdge(u, v NodeID, w int64) EdgeID {
+	id, err := b.AddEdge(u, v, w)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// FindEdge returns the ID of edge {u,v} if it has been added.
+func (b *Builder) FindEdge(u, v NodeID) (EdgeID, bool) {
+	id, ok := b.seen[edgeKey(u, v)]
+	return id, ok
+}
+
+// Finalize lays the accumulated edges out as an immutable CSR Graph: a
+// counting pass over the edges sizes each vertex's arc range, a prefix sum
+// turns counts into offsets, and a fill pass writes both directions of every
+// edge. Within a vertex, arcs land in ascending EdgeID order — exactly the
+// order the historical append-per-AddEdge adjacency produced — so all seeded
+// traversal-dependent outputs are preserved. The Builder's edge slice and
+// dedup map are adopted by the Graph; the Builder must not be used afterwards.
+func (b *Builder) Finalize() *Graph {
+	n := b.n
+	offsets := make([]int32, n+1)
+	for _, e := range b.edges {
+		offsets[e.U+1]++
+		offsets[e.V+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	numArcs := offsets[n]
+	arcTo := make([]int32, numArcs)
+	arcEdge := make([]int32, numArcs)
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for id, e := range b.edges {
+		ku := cursor[e.U]
+		arcTo[ku], arcEdge[ku] = int32(e.V), int32(id)
+		cursor[e.U]++
+		kv := cursor[e.V]
+		arcTo[kv], arcEdge[kv] = int32(e.U), int32(id)
+		cursor[e.V]++
+	}
+	g := &Graph{
+		arcOffsets: offsets,
+		arcTo:      arcTo,
+		arcEdge:    arcEdge,
+		edges:      b.edges,
+		seen:       b.seen,
+	}
+	b.edges, b.seen = nil, nil
+	return g
+}

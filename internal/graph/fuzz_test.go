@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// refGraph is a deliberately naive reimplementation of the pre-CSR
+// slice-of-slices adjacency build. The fuzzer checks the CSR Builder against
+// it arc for arc.
+type refGraph struct {
+	adj   [][]Arc
+	edges []Edge
+	seen  map[[2]NodeID]EdgeID
+}
+
+func newRefGraph(n int) *refGraph {
+	return &refGraph{adj: make([][]Arc, n), seen: map[[2]NodeID]EdgeID{}}
+}
+
+func (r *refGraph) addEdge(u, v NodeID, w int64) (EdgeID, bool) {
+	if u == v || u < 0 || u >= len(r.adj) || v < 0 || v >= len(r.adj) {
+		return 0, false
+	}
+	if _, dup := r.seen[edgeKey(u, v)]; dup {
+		return 0, false
+	}
+	id := len(r.edges)
+	r.edges = append(r.edges, Edge{U: u, V: v, W: w})
+	r.adj[u] = append(r.adj[u], Arc{To: v, Edge: id})
+	r.adj[v] = append(r.adj[v], Arc{To: u, Edge: id})
+	r.seen[edgeKey(u, v)] = id
+	return id, true
+}
+
+// FuzzBuilder decodes a byte stream into a vertex count and a sequence of
+// edge insertions, replays it against both the CSR Builder and the reference
+// adjacency build, and asserts they accept/reject identically and agree on
+// degrees, neighbor order, edge IDs and edge lookup in the finalized graph.
+func FuzzBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 1, 2, 0, 2})
+	f.Add([]byte{1, 0, 0})
+	f.Add([]byte{7, 0, 1, 0, 1, 1, 0, 6, 5})
+	f.Add(bytes.Repeat([]byte{13, 2, 11}, 9))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%64
+		b := NewBuilder(n)
+		ref := newRefGraph(n)
+		for i := 1; i+1 < len(data); i += 2 {
+			// Raw bytes, unreduced: out-of-range endpoints must be rejected by
+			// both builds, not masked away by the decoder.
+			u, v := NodeID(data[i]), NodeID(data[i+1])
+			w := int64(i)
+			wantID, wantOK := ref.addEdge(u, v, w)
+			gotID, err := b.AddEdge(u, v, w)
+			if wantOK != (err == nil) {
+				t.Fatalf("AddEdge(%d,%d): builder err=%v, reference ok=%v", u, v, err, wantOK)
+			}
+			if wantOK && gotID != wantID {
+				t.Fatalf("AddEdge(%d,%d): EdgeID %d, reference %d", u, v, gotID, wantID)
+			}
+		}
+		g := b.Finalize()
+		if g.NumNodes() != n || g.NumEdges() != len(ref.edges) {
+			t.Fatalf("finalized %d nodes / %d edges, reference %d / %d",
+				g.NumNodes(), g.NumEdges(), n, len(ref.edges))
+		}
+		for id, want := range ref.edges {
+			if got := g.Edge(id); got != want {
+				t.Fatalf("Edge(%d) = %+v, reference %+v", id, got, want)
+			}
+			if eid, ok := g.FindEdge(want.V, want.U); !ok || eid != id {
+				t.Fatalf("FindEdge(%d,%d) = %d,%v, want %d,true", want.V, want.U, eid, ok, id)
+			}
+		}
+		for v := 0; v < n; v++ {
+			if g.Degree(v) != len(ref.adj[v]) {
+				t.Fatalf("Degree(%d) = %d, reference %d", v, g.Degree(v), len(ref.adj[v]))
+			}
+			to, eid := g.Arcs(v)
+			for k, want := range ref.adj[v] {
+				if NodeID(to[k]) != want.To || EdgeID(eid[k]) != want.Edge {
+					t.Fatalf("Arcs(%d)[%d] = (%d,%d), reference (%d,%d)",
+						v, k, to[k], eid[k], want.To, want.Edge)
+				}
+			}
+			if got := g.AppendArcs(nil, v); len(got) != len(ref.adj[v]) {
+				t.Fatalf("AppendArcs(%d) has %d arcs, reference %d", v, len(got), len(ref.adj[v]))
+			}
+		}
+		// Cross-check a scratch traversal against the reference adjacency:
+		// reachability must agree with a BFS over ref.adj.
+		s := GetScratch()
+		defer s.Release()
+		dist := g.BFSScratch(s, 0)
+		refDist := make([]int, n)
+		for i := range refDist {
+			refDist[i] = Unreached
+		}
+		refDist[0] = 0
+		queue := []NodeID{0}
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, a := range ref.adj[v] {
+				if refDist[a.To] == Unreached {
+					refDist[a.To] = refDist[v] + 1
+					queue = append(queue, a.To)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if int(dist[v]) != refDist[v] {
+				t.Fatalf("BFS dist[%d] = %d, reference %d", v, dist[v], refDist[v])
+			}
+		}
+	})
+}

@@ -6,10 +6,17 @@
 // NumEdges-1. Both indices are stable across the life of a Graph, which lets
 // the CONGEST simulator, spanning trees and shortcuts all refer to edges by
 // their integer ID.
+//
+// A Graph is immutable in structure once built (only edge weights may be
+// rewritten). Construct one by accumulating edges in a Builder and calling
+// Finalize, which lays the adjacency out in compressed-sparse-row form: one
+// flat offsets array plus two flat arc arrays (neighbor, edge ID), so
+// traversals stream through contiguous memory instead of chasing per-vertex
+// slice headers. Hot loops iterate with Arcs; the Scratch pool makes repeated
+// traversals allocation-free.
 package graph
 
 import (
-	"errors"
 	"fmt"
 )
 
@@ -28,34 +35,29 @@ type Edge struct {
 }
 
 // Arc is one direction of an undirected edge as seen from a vertex's
-// adjacency list: the neighbor it leads to and the ID of the underlying edge.
+// adjacency: the neighbor it leads to and the ID of the underlying edge.
+// The CSR core stores arcs as parallel int32 arrays (see Arcs); Arc remains
+// the materialized form used by the CONGEST simulator's per-node views.
 type Arc struct {
 	To   NodeID
 	Edge EdgeID
 }
 
 // Graph is a simple undirected graph (no self loops, no parallel edges) with
-// int64 edge weights. The zero value is not usable; construct with New.
+// int64 edge weights, stored in compressed-sparse-row form. The zero value is
+// not usable; construct with a Builder.
 type Graph struct {
-	adj   [][]Arc
-	edges []Edge
-	seen  map[[2]NodeID]EdgeID
+	// arcOffsets has NumNodes+1 entries; the arcs of vertex v occupy indices
+	// [arcOffsets[v], arcOffsets[v+1]) of arcTo and arcEdge. Within a vertex,
+	// arcs appear in edge-insertion order (ascending EdgeID), matching the
+	// historical slice-of-slices layout bit-for-bit so traversal orders — and
+	// therefore every seeded experiment table — are unchanged.
+	arcOffsets []int32
+	arcTo      []int32
+	arcEdge    []int32
+	edges      []Edge
+	seen       map[[2]NodeID]EdgeID
 }
-
-// New returns an empty graph on n vertices.
-func New(n int) *Graph {
-	if n < 0 {
-		panic(fmt.Sprintf("graph: negative vertex count %d", n))
-	}
-	return &Graph{
-		adj:  make([][]Arc, n),
-		seen: make(map[[2]NodeID]EdgeID, n),
-	}
-}
-
-// ErrBadEdge is returned by AddEdge for self loops, duplicate edges, and
-// endpoints outside [0, NumNodes).
-var ErrBadEdge = errors.New("graph: invalid edge")
 
 func edgeKey(u, v NodeID) [2]NodeID {
 	if u > v {
@@ -64,49 +66,36 @@ func edgeKey(u, v NodeID) [2]NodeID {
 	return [2]NodeID{u, v}
 }
 
-// AddEdge inserts the undirected edge {u, v} with weight w and returns its
-// EdgeID. It rejects self loops, out-of-range endpoints and duplicates.
-func (g *Graph) AddEdge(u, v NodeID, w int64) (EdgeID, error) {
-	switch {
-	case u == v:
-		return 0, fmt.Errorf("%w: self loop at %d", ErrBadEdge, u)
-	case u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj):
-		return 0, fmt.Errorf("%w: endpoints (%d,%d) out of range [0,%d)", ErrBadEdge, u, v, len(g.adj))
-	}
-	key := edgeKey(u, v)
-	if _, dup := g.seen[key]; dup {
-		return 0, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadEdge, u, v)
-	}
-	id := len(g.edges)
-	g.edges = append(g.edges, Edge{U: u, V: v, W: w})
-	g.adj[u] = append(g.adj[u], Arc{To: v, Edge: id})
-	g.adj[v] = append(g.adj[v], Arc{To: u, Edge: id})
-	g.seen[key] = id
-	return id, nil
-}
-
-// MustAddEdge is AddEdge for statically well-formed construction code (e.g.
-// generators); it panics on the programmer errors AddEdge reports.
-func (g *Graph) MustAddEdge(u, v NodeID, w int64) EdgeID {
-	id, err := g.AddEdge(u, v, w)
-	if err != nil {
-		panic(err)
-	}
-	return id
-}
-
 // NumNodes returns the number of vertices.
-func (g *Graph) NumNodes() int { return len(g.adj) }
+func (g *Graph) NumNodes() int { return len(g.arcOffsets) - 1 }
 
 // NumEdges returns the number of undirected edges.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
-// Adj returns the adjacency list of v. The returned slice is owned by the
-// graph and must not be modified.
-func (g *Graph) Adj(v NodeID) []Arc { return g.adj[v] }
+// Arcs returns the CSR adjacency views of v as parallel slices: to[k] is the
+// k-th neighbor and edge[k] the EdgeID connecting to it. The slices alias the
+// graph's arrays and must not be modified. This is the zero-allocation
+// iteration primitive all hot loops use.
+func (g *Graph) Arcs(v NodeID) (to, edge []int32) {
+	lo, hi := g.arcOffsets[v], g.arcOffsets[v+1]
+	return g.arcTo[lo:hi], g.arcEdge[lo:hi]
+}
 
 // Degree returns the number of edges incident to v.
-func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v NodeID) int {
+	return int(g.arcOffsets[v+1] - g.arcOffsets[v])
+}
+
+// AppendArcs appends v's adjacency, materialized as Arc values, to buf and
+// returns the extended slice. Callers that need the Arc form repeatedly (the
+// CONGEST simulator's per-node neighbor views) build it once with this.
+func (g *Graph) AppendArcs(buf []Arc, v NodeID) []Arc {
+	to, edge := g.Arcs(v)
+	for k := range to {
+		buf = append(buf, Arc{To: NodeID(to[k]), Edge: EdgeID(edge[k])})
+	}
+	return buf
+}
 
 // Edge returns the edge with the given ID.
 func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
@@ -115,7 +104,8 @@ func (g *Graph) Edge(id EdgeID) Edge { return g.edges[id] }
 // not be modified.
 func (g *Graph) Edges() []Edge { return g.edges }
 
-// SetWeight replaces the weight of edge id.
+// SetWeight replaces the weight of edge id — the only permitted mutation of a
+// finalized graph.
 func (g *Graph) SetWeight(id EdgeID, w int64) { g.edges[id].W = w }
 
 // FindEdge returns the ID of edge {u,v} if present.
@@ -137,13 +127,13 @@ func (g *Graph) Other(id EdgeID, v NodeID) NodeID {
 	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %d (%d,%d)", v, id, e.U, e.V))
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g (same node/edge IDs, independent weights).
 func (g *Graph) Clone() *Graph {
-	out := New(g.NumNodes())
+	b := NewBuilder(g.NumNodes())
 	for _, e := range g.edges {
-		out.MustAddEdge(e.U, e.V, e.W)
+		b.MustAddEdge(e.U, e.V, e.W)
 	}
-	return out
+	return b.Finalize()
 }
 
 // TotalWeight returns the sum of all edge weights.

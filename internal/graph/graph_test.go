@@ -7,24 +7,29 @@ import (
 	"testing/quick"
 )
 
-func path(t testing.TB, n int) *Graph {
+func pathBuilder(t testing.TB, n int) *Builder {
 	t.Helper()
-	g := New(n)
+	g := NewBuilder(n)
 	for i := 0; i+1 < n; i++ {
 		g.MustAddEdge(i, i+1, 1)
 	}
 	return g
 }
 
+func path(t testing.TB, n int) *Graph {
+	t.Helper()
+	return pathBuilder(t, n).Finalize()
+}
+
 func cycle(t testing.TB, n int) *Graph {
 	t.Helper()
-	g := path(t, n)
+	g := pathBuilder(t, n)
 	g.MustAddEdge(n-1, 0, 1)
-	return g
+	return g.Finalize()
 }
 
 func TestAddEdgeValidation(t *testing.T) {
-	g := New(3)
+	g := NewBuilder(3)
 	if _, err := g.AddEdge(0, 0, 1); !errors.Is(err, ErrBadEdge) {
 		t.Errorf("self loop: got err %v, want ErrBadEdge", err)
 	}
@@ -43,11 +48,15 @@ func TestAddEdgeValidation(t *testing.T) {
 	if g.NumEdges() != 1 {
 		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
 	}
+	if fg := g.Finalize(); fg.NumEdges() != 1 || fg.NumNodes() != 3 {
+		t.Errorf("finalized graph has %d nodes / %d edges, want 3 / 1", fg.NumNodes(), fg.NumEdges())
+	}
 }
 
 func TestAdjacencySymmetry(t *testing.T) {
-	g := New(4)
-	id := g.MustAddEdge(1, 3, 7)
+	b := NewBuilder(4)
+	id := b.MustAddEdge(1, 3, 7)
+	g := b.Finalize()
 	if got := g.Other(id, 1); got != 3 {
 		t.Errorf("Other(%d, 1) = %d, want 3", id, got)
 	}
@@ -76,9 +85,10 @@ func TestBFSPath(t *testing.T) {
 }
 
 func TestBFSDisconnected(t *testing.T) {
-	g := New(4)
-	g.MustAddEdge(0, 1, 1)
-	g.MustAddEdge(2, 3, 1)
+	b := NewBuilder(4)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(2, 3, 1)
+	g := b.Finalize()
 	dist := g.BFS(0)
 	if dist[2] != Unreached || dist[3] != Unreached {
 		t.Errorf("dist across components = %d,%d, want Unreached", dist[2], dist[3])
@@ -115,7 +125,7 @@ func TestDiameter(t *testing.T) {
 		{"path10", path(t, 10), 9},
 		{"cycle10", cycle(t, 10), 5},
 		{"cycle9", cycle(t, 9), 4},
-		{"single", New(1), 0},
+		{"single", NewBuilder(1).Finalize(), 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -143,6 +153,11 @@ func TestSubsetDiameter(t *testing.T) {
 	}
 	if got := g.SubsetDiameter([]NodeID{3}); got != 0 {
 		t.Errorf("singleton subset diameter = %d, want 0", got)
+	}
+	// Duplicate vertices in the set must be idempotent, not read as extra
+	// members the BFS then fails to reach.
+	if got := g.SubsetDiameter([]NodeID{1, 1, 2, 2, 3}); got != 2 {
+		t.Errorf("duplicate-vertex subset diameter = %d, want 2", got)
 	}
 }
 
@@ -172,9 +187,10 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestTotalWeight(t *testing.T) {
-	g := New(3)
-	g.MustAddEdge(0, 1, 5)
-	g.MustAddEdge(1, 2, -2)
+	b := NewBuilder(3)
+	b.MustAddEdge(0, 1, 5)
+	b.MustAddEdge(1, 2, -2)
+	g := b.Finalize()
 	if got := g.TotalWeight(); got != 3 {
 		t.Errorf("TotalWeight = %d, want 3", got)
 	}
@@ -209,18 +225,18 @@ func TestUnionFindMatchesComponents(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 50; trial++ {
 		n := 2 + rng.Intn(40)
-		g := New(n)
+		b := NewBuilder(n)
 		uf := NewUnionFind(n)
 		for tries := 0; tries < 2*n; tries++ {
 			u, v := rng.Intn(n), rng.Intn(n)
 			if u == v {
 				continue
 			}
-			if _, err := g.AddEdge(u, v, 1); err == nil {
+			if _, err := b.AddEdge(u, v, 1); err == nil {
 				uf.Union(u, v)
 			}
 		}
-		label, k := g.Components()
+		label, k := b.Finalize().Components()
 		if uf.Sets() != k {
 			t.Fatalf("trial %d: uf.Sets=%d components=%d", trial, uf.Sets(), k)
 		}
@@ -241,16 +257,17 @@ func TestEccentricityProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(30)
-		g := New(n)
+		b := NewBuilder(n)
 		for i := 1; i < n; i++ { // random tree keeps it connected
-			g.MustAddEdge(i, rng.Intn(i), 1)
+			b.MustAddEdge(i, rng.Intn(i), 1)
 		}
 		for tries := 0; tries < n/2; tries++ {
 			u, v := rng.Intn(n), rng.Intn(n)
 			if u != v {
-				g.AddEdge(u, v, 1) //nolint:errcheck // duplicates fine
+				b.AddEdge(u, v, 1) //nolint:errcheck // duplicates fine
 			}
 		}
+		g := b.Finalize()
 		diam := g.Diameter()
 		for v := 0; v < n; v++ {
 			ecc := g.Eccentricity(v)

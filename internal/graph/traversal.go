@@ -3,82 +3,139 @@ package graph
 // Unreached marks vertices not reached by a traversal in distance slices.
 const Unreached = -1
 
-// BFS returns the unweighted distance (in hops) from src to every vertex,
-// with Unreached for vertices in other components.
+// bfsLoop drains the pre-seeded queue in s, expanding over the CSR arrays.
+// Callers seed s.dist/s.queue with the sources first. The loop indexes a
+// fixed-capacity queue manually (each vertex enters at most once, so n slots
+// suffice) and works on local copies of the hot arrays, keeping the inner
+// loop free of append bookkeeping and repeated field loads.
+func (g *Graph) bfsLoop(s *Scratch) {
+	dist, offsets, arcTo := s.dist, g.arcOffsets, g.arcTo
+	queue := s.queue[:len(dist)]
+	head, tail := 0, len(s.queue)
+	for head < tail {
+		v := queue[head]
+		head++
+		d := dist[v] + 1
+		for _, w := range arcTo[offsets[v]:offsets[v+1]] {
+			if dist[w] == Unreached {
+				dist[w] = d
+				queue[tail] = w
+				tail++
+			}
+		}
+	}
+	s.queue = queue[:tail]
+}
+
+// distToInt copies an int32 distance buffer into a fresh caller-owned []int.
+func distToInt(src []int32) []int {
+	out := make([]int, len(src))
+	for i, d := range src {
+		out[i] = int(d)
+	}
+	return out
+}
+
+// BFSScratch returns the unweighted distance (in hops) from src to every
+// vertex, with Unreached for vertices in other components. The returned slice
+// is owned by s (see the Scratch ownership contract); steady-state calls are
+// allocation-free.
+func (g *Graph) BFSScratch(s *Scratch, src NodeID) []int32 {
+	s.ensure(g.NumNodes())
+	s.resetDist()
+	s.dist[src] = 0
+	s.queue = append(s.queue, int32(src))
+	g.bfsLoop(s)
+	return s.dist
+}
+
+// BFS is the allocating convenience form of BFSScratch: it returns a fresh
+// caller-owned distance slice.
 func (g *Graph) BFS(src NodeID) []int {
-	return g.MultiSourceBFS([]NodeID{src})
+	s := GetScratch()
+	defer s.Release()
+	return distToInt(g.BFSScratch(s, src))
 }
 
-// MultiSourceBFS returns, for every vertex, the hop distance to the nearest
-// source, with Unreached for vertices not connected to any source.
+// MultiSourceBFSScratch returns, for every vertex, the hop distance to the
+// nearest source, with Unreached for vertices not connected to any source.
+// The returned slice is owned by s.
+func (g *Graph) MultiSourceBFSScratch(s *Scratch, sources []NodeID) []int32 {
+	s.ensure(g.NumNodes())
+	s.resetDist()
+	for _, src := range sources {
+		if s.dist[src] == Unreached {
+			s.dist[src] = 0
+			s.queue = append(s.queue, int32(src))
+		}
+	}
+	g.bfsLoop(s)
+	return s.dist
+}
+
+// MultiSourceBFS is the allocating convenience form of MultiSourceBFSScratch.
 func (g *Graph) MultiSourceBFS(sources []NodeID) []int {
-	dist := make([]int, g.NumNodes())
-	for i := range dist {
-		dist[i] = Unreached
-	}
-	queue := make([]NodeID, 0, g.NumNodes())
-	for _, s := range sources {
-		if dist[s] == Unreached {
-			dist[s] = 0
-			queue = append(queue, s)
-		}
-	}
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		for _, a := range g.adj[v] {
-			if dist[a.To] == Unreached {
-				dist[a.To] = dist[v] + 1
-				queue = append(queue, a.To)
-			}
-		}
-	}
-	return dist
+	s := GetScratch()
+	defer s.Release()
+	return distToInt(g.MultiSourceBFSScratch(s, sources))
 }
 
-// BFSWithin runs a BFS from src restricted to the vertices for which
+// BFSWithinScratch runs a BFS from src restricted to the vertices for which
 // member reports true, and returns hop distances (Unreached outside the
-// reached region). src itself must be a member.
-func (g *Graph) BFSWithin(src NodeID, member func(NodeID) bool) []int {
-	dist := make([]int, g.NumNodes())
-	for i := range dist {
-		dist[i] = Unreached
-	}
-	dist[src] = 0
-	queue := []NodeID{src}
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		for _, a := range g.adj[v] {
-			if dist[a.To] == Unreached && member(a.To) {
-				dist[a.To] = dist[v] + 1
-				queue = append(queue, a.To)
+// reached region). src itself must be a member. The returned slice is owned
+// by s.
+func (g *Graph) BFSWithinScratch(s *Scratch, src NodeID, member func(NodeID) bool) []int32 {
+	s.ensure(g.NumNodes())
+	s.resetDist()
+	s.dist[src] = 0
+	s.queue = append(s.queue, int32(src))
+	for head := 0; head < len(s.queue); head++ {
+		v := NodeID(s.queue[head])
+		d := s.dist[v] + 1
+		lo, hi := g.arcOffsets[v], g.arcOffsets[v+1]
+		for _, w := range g.arcTo[lo:hi] {
+			if s.dist[w] == Unreached && member(NodeID(w)) {
+				s.dist[w] = d
+				s.queue = append(s.queue, w)
 			}
 		}
 	}
-	return dist
+	return s.dist
+}
+
+// BFSWithin is the allocating convenience form of BFSWithinScratch.
+func (g *Graph) BFSWithin(src NodeID, member func(NodeID) bool) []int {
+	s := GetScratch()
+	defer s.Release()
+	return distToInt(g.BFSWithinScratch(s, src, member))
 }
 
 // Components labels each vertex with a component index in [0, #components)
 // and returns the labels plus the number of components. Component indices
 // are assigned in order of their smallest vertex.
 func (g *Graph) Components() ([]int, int) {
-	label := make([]int, g.NumNodes())
+	n := g.NumNodes()
+	s := GetScratch()
+	defer s.Release()
+	s.ensure(n)
+	label := make([]int, n)
 	for i := range label {
 		label[i] = Unreached
 	}
 	next := 0
-	queue := make([]NodeID, 0, g.NumNodes())
-	for s := 0; s < g.NumNodes(); s++ {
-		if label[s] != Unreached {
+	for src := 0; src < n; src++ {
+		if label[src] != Unreached {
 			continue
 		}
-		label[s] = next
-		queue = append(queue[:0], s)
-		for head := 0; head < len(queue); head++ {
-			v := queue[head]
-			for _, a := range g.adj[v] {
-				if label[a.To] == Unreached {
-					label[a.To] = next
-					queue = append(queue, a.To)
+		label[src] = next
+		s.queue = append(s.queue[:0], int32(src))
+		for head := 0; head < len(s.queue); head++ {
+			v := NodeID(s.queue[head])
+			lo, hi := g.arcOffsets[v], g.arcOffsets[v+1]
+			for _, w := range g.arcTo[lo:hi] {
+				if label[w] == Unreached {
+					label[w] = next
+					s.queue = append(s.queue, w)
 				}
 			}
 		}
@@ -97,16 +154,23 @@ func (g *Graph) Connected() bool {
 	return k == 1
 }
 
-// Eccentricity returns the maximum BFS distance from src to any vertex of
-// its component.
-func (g *Graph) Eccentricity(src NodeID) int {
-	ecc := 0
-	for _, d := range g.BFS(src) {
+// EccentricityScratch returns the maximum BFS distance from src to any vertex
+// of its component, reusing s's buffers.
+func (g *Graph) EccentricityScratch(s *Scratch, src NodeID) int {
+	ecc := int32(0)
+	for _, d := range g.BFSScratch(s, src) {
 		if d > ecc {
 			ecc = d
 		}
 	}
-	return ecc
+	return int(ecc)
+}
+
+// Eccentricity is the pooled-scratch convenience form of EccentricityScratch.
+func (g *Graph) Eccentricity(src NodeID) int {
+	s := GetScratch()
+	defer s.Release()
+	return g.EccentricityScratch(s, src)
 }
 
 // Diameter returns the exact hop diameter of a connected graph by running a
@@ -114,9 +178,11 @@ func (g *Graph) Eccentricity(src NodeID) int {
 // For a disconnected graph it returns the largest component-internal
 // eccentricity observed.
 func (g *Graph) Diameter() int {
+	s := GetScratch()
+	defer s.Release()
 	diam := 0
 	for v := 0; v < g.NumNodes(); v++ {
-		if e := g.Eccentricity(v); e > diam {
+		if e := g.EccentricityScratch(s, v); e > diam {
 			diam = e
 		}
 	}
@@ -126,14 +192,16 @@ func (g *Graph) Diameter() int {
 // ApproxDiameter returns a lower bound on the diameter that is at least half
 // the true value, computed with a double BFS sweep from src.
 func (g *Graph) ApproxDiameter(src NodeID) int {
-	dist := g.BFS(src)
-	far, farD := src, 0
+	s := GetScratch()
+	defer s.Release()
+	dist := g.BFSScratch(s, src)
+	far, farD := src, int32(0)
 	for v, d := range dist {
 		if d > farD {
 			far, farD = v, d
 		}
 	}
-	return g.Eccentricity(far)
+	return g.EccentricityScratch(s, far)
 }
 
 // SubsetDiameter returns the hop diameter of the subgraph induced by the
@@ -141,25 +209,54 @@ func (g *Graph) ApproxDiameter(src NodeID) int {
 // in the set. It returns Unreached if the induced subgraph is disconnected
 // or the set is empty.
 func (g *Graph) SubsetDiameter(set []NodeID) int {
+	s := GetScratch()
+	defer s.Release()
+	return g.SubsetDiameterScratch(s, set)
+}
+
+// SubsetDiameterScratch is SubsetDiameter reusing s's buffers: membership is
+// epoch-stamped, and distance entries are un-set via the queue after each
+// source's sweep, so the whole computation performs no per-source allocation.
+func (g *Graph) SubsetDiameterScratch(s *Scratch, set []NodeID) int {
 	if len(set) == 0 {
 		return Unreached
 	}
-	member := make(map[NodeID]bool, len(set))
+	s.ensure(g.NumNodes())
+	s.nextEpoch()
+	members := 0 // unique members; the input may repeat vertices
 	for _, v := range set {
-		member[v] = true
-	}
-	isMember := func(v NodeID) bool { return member[v] }
-	diam := 0
-	for _, s := range set {
-		dist := g.BFSWithin(s, isMember)
-		for _, v := range set {
-			if dist[v] == Unreached {
-				return Unreached
-			}
-			if dist[v] > diam {
-				diam = dist[v]
-			}
+		if s.mark[v] != s.epoch {
+			s.mark[v] = s.epoch
+			members++
 		}
 	}
-	return diam
+	s.resetDist()
+	diam := int32(0)
+	for _, src := range set {
+		// Invariant: every dist entry is Unreached here.
+		s.queue = append(s.queue[:0], int32(src))
+		s.dist[src] = 0
+		for head := 0; head < len(s.queue); head++ {
+			v := NodeID(s.queue[head])
+			if s.dist[v] > diam {
+				diam = s.dist[v]
+			}
+			d := s.dist[v] + 1
+			lo, hi := g.arcOffsets[v], g.arcOffsets[v+1]
+			for _, w := range g.arcTo[lo:hi] {
+				if s.mark[w] == s.epoch && s.dist[w] == Unreached {
+					s.dist[w] = d
+					s.queue = append(s.queue, w)
+				}
+			}
+		}
+		reached := len(s.queue)
+		for _, v := range s.queue {
+			s.dist[v] = Unreached
+		}
+		if reached != members {
+			return Unreached
+		}
+	}
+	return int(diam)
 }

@@ -60,29 +60,41 @@ func BoruvkaCentral(g *graph.Graph) (int64, []bool, error) {
 	n := g.NumNodes()
 	uf := graph.NewUnionFind(n)
 	inMST := make([]bool, g.NumEdges())
+	// best[r] is the lightest outgoing edge of the fragment rooted at r this
+	// phase, or -1; indexing by representative instead of a map keeps the
+	// phase loop allocation-free and the merge order deterministic.
+	best := make([]graph.EdgeID, n)
 	var total int64
 	for uf.Sets() > 1 {
-		best := make(map[int]graph.EdgeID)
+		for r := range best {
+			best[r] = -1
+		}
+		candidates := 0
 		for id := 0; id < g.NumEdges(); id++ {
 			ed := g.Edge(id)
 			ru, rv := uf.Find(ed.U), uf.Find(ed.V)
 			if ru == rv {
 				continue
 			}
-			for _, r := range []int{ru, rv} {
-				cur, ok := best[r]
-				if !ok || lessEdge(g, id, cur) {
+			for _, r := range [2]int{ru, rv} {
+				if best[r] == -1 {
+					best[r] = id
+					candidates++
+				} else if lessEdge(g, id, best[r]) {
 					best[r] = id
 				}
 			}
 		}
-		if len(best) == 0 {
+		if candidates == 0 {
 			return 0, nil, fmt.Errorf("mst: graph disconnected with %d components left", uf.Sets())
 		}
-		for _, id := range best {
-			ed := g.Edge(id)
+		for r := 0; r < n; r++ {
+			if best[r] == -1 {
+				continue
+			}
+			ed := g.Edge(best[r])
 			if uf.Union(ed.U, ed.V) {
-				inMST[id] = true
+				inMST[best[r]] = true
 				total += ed.W
 			}
 		}

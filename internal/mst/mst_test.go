@@ -33,10 +33,10 @@ func TestKruskalMatchesBoruvkaCentral(t *testing.T) {
 }
 
 func TestKruskalRejectsDisconnected(t *testing.T) {
-	g := graph.New(4)
-	g.MustAddEdge(0, 1, 1)
-	g.MustAddEdge(2, 3, 1)
-	if _, _, err := Kruskal(g); err == nil {
+	b := graph.NewBuilder(4)
+	b.MustAddEdge(0, 1, 1)
+	b.MustAddEdge(2, 3, 1)
+	if _, _, err := Kruskal(b.Finalize()); err == nil {
 		t.Fatal("disconnected graph accepted")
 	}
 }
@@ -61,9 +61,11 @@ func checkDistributed(t *testing.T, g *graph.Graph, cfg Config, seed int64) cong
 		if r.Fragment != finalFrag {
 			t.Fatalf("node %d: fragment %d, want %d", v, r.Fragment, finalFrag)
 		}
-		for _, a := range g.Adj(v) {
-			if r.InMST[a.Edge] != wantE[a.Edge] {
-				t.Fatalf("node %d edge %d: inMST %v, want %v", v, a.Edge, r.InMST[a.Edge], wantE[a.Edge])
+		_, eids := g.Arcs(v)
+		for _, e := range eids {
+			eid := graph.EdgeID(e)
+			if r.InMST[eid] != wantE[eid] {
+				t.Fatalf("node %d edge %d: inMST %v, want %v", v, eid, r.InMST[eid], wantE[eid])
 			}
 		}
 	}
@@ -104,7 +106,7 @@ func TestMSTWithDuplicateWeights(t *testing.T) {
 }
 
 func TestMSTSingleNodeAndEdge(t *testing.T) {
-	g1 := graph.New(1)
+	g1 := graph.NewBuilder(1).Finalize()
 	results, _, err := Run(g1, 0, 1, Config{Strategy: StrategyShortcut}, congest.Options{})
 	if err != nil {
 		t.Fatal(err)

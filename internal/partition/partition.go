@@ -79,9 +79,11 @@ func (p *Partition) Validate(g *graph.Graph) error {
 	if len(p.assign) != g.NumNodes() {
 		return fmt.Errorf("partition: covers %d vertices, graph has %d", len(p.assign), g.NumNodes())
 	}
+	s := graph.GetScratch()
+	defer s.Release()
 	for i, nodes := range p.lists {
 		src := nodes[0]
-		dist := g.BFSWithin(src, func(v graph.NodeID) bool { return p.assign[v] == i })
+		dist := g.BFSWithinScratch(s, src, func(v graph.NodeID) bool { return p.assign[v] == i })
 		for _, v := range nodes {
 			if dist[v] == graph.Unreached {
 				return fmt.Errorf("partition: part %d is disconnected (vertex %d unreachable from %d inside the part)", i, v, src)
@@ -95,9 +97,11 @@ func (p *Partition) Validate(g *graph.Graph) error {
 // each part may only use its own induced edges — the quantity whose blow-up
 // motivates shortcuts.
 func (p *Partition) MaxPartDiameter(g *graph.Graph) int {
+	s := graph.GetScratch()
+	defer s.Release()
 	maxD := 0
 	for i := range p.lists {
-		if d := g.SubsetDiameter(p.lists[i]); d > maxD {
+		if d := g.SubsetDiameterScratch(s, p.lists[i]); d > maxD {
 			maxD = d
 		}
 	}
@@ -127,10 +131,11 @@ func Voronoi(g *graph.Graph, numSeeds int, seed int64) *Partition {
 	}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, a := range g.Adj(v) {
-			if assign[a.To] == None {
-				assign[a.To] = assign[v]
-				queue = append(queue, a.To)
+		to, _ := g.Arcs(v)
+		for _, w := range to {
+			if assign[w] == None {
+				assign[w] = assign[v]
+				queue = append(queue, graph.NodeID(w))
 			}
 		}
 	}

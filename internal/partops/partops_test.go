@@ -1,6 +1,7 @@
 package partops
 
 import (
+	"sync"
 	"testing"
 
 	"lcshortcut/internal/bfsproto"
@@ -80,10 +81,17 @@ func pipeline(tb testing.TB, in instance, cont func(ctx *congest.Ctx, m *Members
 }
 
 // cstarOf caches witness congestion per instance (computed on the
-// protocol-built tree).
-var cstarCache = map[string]int{}
+// protocol-built tree). Every node goroutine of a simulation calls it, so the
+// cache is mutex-guarded; the lock is held across the computation to do it
+// once per instance.
+var (
+	cstarMu    sync.Mutex
+	cstarCache = map[string]int{}
+)
 
 func cstarOf(tb testing.TB, in instance) int {
+	cstarMu.Lock()
+	defer cstarMu.Unlock()
 	if c, ok := cstarCache[in.name]; ok {
 		return c
 	}
@@ -357,7 +365,11 @@ func TestVerifyRoundComplexity(t *testing.T) {
 	extra := stats.Rounds - statsBase.Rounds
 	castBudget := 0
 	pipeline(t, in, func(ctx *congest.Ctx, m *Membership) error {
-		castBudget = m.CastBudget() // same at every node
+		// The budget is the same at every node; only node 0 records it so the
+		// closure stays race-free under -race.
+		if ctx.ID() == 0 {
+			castBudget = m.CastBudget()
+		}
 		return nil
 	})
 	limit := (4*b + 6) * (2*(castBudget+1) + 3)

@@ -43,12 +43,13 @@ func BFSTree(g *graph.Graph, root graph.NodeID) *Tree {
 	order = append(order, root)
 	for head := 0; head < len(order); head++ {
 		v := order[head]
-		for _, a := range g.Adj(v) {
-			if depth[a.To] == -1 {
-				depth[a.To] = depth[v] + 1
-				parent[a.To] = v
-				parentEdge[a.To] = a.Edge
-				order = append(order, a.To)
+		to, eid := g.Arcs(v)
+		for k, w := range to {
+			if depth[w] == -1 {
+				depth[w] = depth[v] + 1
+				parent[w] = v
+				parentEdge[w] = graph.EdgeID(eid[k])
+				order = append(order, graph.NodeID(w))
 			}
 		}
 	}
