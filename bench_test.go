@@ -5,6 +5,7 @@ import (
 
 	"lcshortcut/internal/congest"
 	"lcshortcut/internal/core"
+	"lcshortcut/internal/engbench"
 	"lcshortcut/internal/experiments"
 	"lcshortcut/internal/findshort"
 	"lcshortcut/internal/gen"
@@ -14,6 +15,46 @@ import (
 	"lcshortcut/internal/partition"
 	"lcshortcut/internal/tree"
 )
+
+// BenchmarkCongest measures the simulation engine itself on the engbench
+// scenario suite (broadcast flood, sparse token ring, the BFS opening phase
+// on grid256x256 and er50000), on both engines inside one binary: `channel`
+// is the pre-rewrite coordinator engine, `eventloop` the arc-slot mailbox
+// engine, whose steady state must stay at 0 allocs per round (the per-run
+// setup cost is amortized by the pooled runState; see the alloc guard tests
+// in internal/congest). Simulated rounds are reported so per-round cost can
+// be derived.
+func BenchmarkCongest(b *testing.B) {
+	for _, sc := range engbench.Scenarios() {
+		if sc.Heavy && testing.Short() {
+			continue
+		}
+		for _, eng := range []struct {
+			name string
+			e    congest.Engine
+		}{
+			{"channel", congest.EngineChannel},
+			{"eventloop", congest.EngineEventLoop},
+		} {
+			b.Run(sc.Name+"/"+eng.name, func(b *testing.B) {
+				g := sc.Graph() // cached across engines; built only if this sub-benchmark runs
+				prev := congest.SetEngine(eng.e)
+				defer congest.SetEngine(prev)
+				var stats congest.Stats
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var err error
+					stats, err = sc.Run(g)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(stats.Rounds), "sim-rounds")
+			})
+		}
+	}
+}
 
 // BenchmarkExperiment regenerates every registered experiment table (the
 // paper's theorem-bound "tables and figures"; see EXPERIMENTS.md), one

@@ -10,15 +10,19 @@
 //	experiments -bench           # benchstat-compatible lines on stdout
 //	experiments -short -workers 4   # trimmed grids on 4 workers (CI smoke)
 //	experiments -write-docs EXPERIMENTS.md   # regenerate the docs from live runs
+//	experiments -bench-json BENCH_engine.json   # engine microbenchmarks only
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"lcshortcut/internal/engbench"
 	"lcshortcut/internal/experiments"
 )
 
@@ -38,6 +42,7 @@ func run(args []string, out *os.File) error {
 		short     = fs.Bool("short", false, "run trimmed smoke-sized parameter grids")
 		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		writeDocs = fs.String("write-docs", "", "regenerate the given EXPERIMENTS.md `path` from this run")
+		benchJSON = fs.String("bench-json", "", "run the engine microbenchmarks (both engines) and write the report to `path`, skipping the experiments")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: experiments [flags] [ID ...]\n\nRegenerates the paper-reproduction tables. IDs filter the run (see -list).\n\n")
@@ -49,6 +54,12 @@ func run(args []string, out *os.File) error {
 		}
 		// The FlagSet already reported the problem and usage on stderr.
 		return fmt.Errorf("invalid arguments")
+	}
+	if *benchJSON != "" {
+		if len(fs.Args()) > 0 {
+			return fmt.Errorf("-bench-json runs the fixed engine scenario suite; drop the arguments %v", fs.Args())
+		}
+		return writeBenchJSON(*benchJSON, *short)
 	}
 	exps, err := experiments.Select(fs.Args())
 	if err != nil {
@@ -108,5 +119,39 @@ func run(args []string, out *os.File) error {
 	if len(violated) > 0 {
 		return fmt.Errorf("bound violations in %s", strings.Join(violated, ", "))
 	}
+	return nil
+}
+
+// writeBenchJSON runs the engine microbenchmark suite (internal/engbench) on
+// both engines and records the measurements — the repository's engine perf
+// trajectory — at path. Short mode runs each light scenario once per engine
+// and skips the heavy ones (CI smoke); otherwise each measurement lasts at
+// least a second.
+func writeBenchJSON(path string, short bool) error {
+	minIters, minDur := 3, time.Second
+	if short {
+		minIters, minDur = 1, 0
+	}
+	rep, err := engbench.Measure(minIters, minDur, short)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, m := range rep.Results {
+		fmt.Fprintf(os.Stderr, "%-22s %-10s %12d ns/op %8d allocs/op\n", m.Scenario, m.Engine, m.NsPerOp, m.AllocsPerOp)
+	}
+	fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
 	return nil
 }

@@ -19,6 +19,14 @@ func (aggDownMsg) Bits() int { return 64 }
 // broadcast of the result — the standard O(D)-round "compute a global
 // function" primitive. All nodes must enter aligned at the same round and
 // leave aligned 2·depth(T)+3 rounds later, each holding the global value.
+//
+// All traffic flows over tree arcs, so the phase reads its inbox through the
+// engine's InboxArc fast path (parent arc + child arcs) instead of
+// materializing per-round message slices. The narrowing is deliberate:
+// traffic a desynchronized protocol leaks onto non-tree arcs during the
+// aggregate window is no longer detected as an "unexpected payload" (wrong
+// payload types on the tree arcs still are) — alignment is the composition
+// contract, and the cross-engine golden tests pin it.
 func AggregatePhase(ctx *congest.Ctx, info *Info, local int64, combine func(a, b int64) int64) (int64, error) {
 	h := info.Height
 	acc := local
@@ -27,22 +35,33 @@ func AggregatePhase(ctx *congest.Ctx, info *Info, local int64, combine func(a, b
 	haveResult := false
 	deliver := func() {
 		haveResult = true
-		for _, c := range info.Children {
-			ctx.Send(c, aggDownMsg{v: result})
+		for _, ka := range info.ChildArcs {
+			ctx.SendArc(ka, aggDownMsg{v: result})
 		}
 	}
-	var inbox []congest.Message
 	for k := 0; k <= 2*h+2; k++ {
-		for _, m := range inbox {
-			switch msg := m.Payload.(type) {
-			case aggUpMsg:
+		if k > 0 {
+			if info.ParentArc != -1 {
+				if p, ok := ctx.InboxArc(info.ParentArc); ok {
+					msg, ok := p.(aggDownMsg)
+					if !ok {
+						return 0, fmt.Errorf("bfsproto: unexpected payload %T in aggregate", p)
+					}
+					result = msg.v
+					deliver()
+				}
+			}
+			for _, ka := range info.ChildArcs {
+				p, ok := ctx.InboxArc(ka)
+				if !ok {
+					continue
+				}
+				msg, ok := p.(aggUpMsg)
+				if !ok {
+					return 0, fmt.Errorf("bfsproto: unexpected payload %T in aggregate", p)
+				}
 				childReports++
 				acc = combine(acc, msg.v)
-			case aggDownMsg:
-				result = msg.v
-				deliver()
-			default:
-				return 0, fmt.Errorf("bfsproto: unexpected payload %T in aggregate", m.Payload)
 			}
 		}
 		if k == h-info.Depth {
@@ -50,15 +69,15 @@ func AggregatePhase(ctx *congest.Ctx, info *Info, local int64, combine func(a, b
 				return 0, fmt.Errorf("bfsproto: node %d aggregate: %d of %d child reports",
 					ctx.ID(), childReports, len(info.Children))
 			}
-			if info.Parent != -1 {
-				ctx.Send(info.Parent, aggUpMsg{v: acc})
+			if info.ParentArc != -1 {
+				ctx.SendArc(info.ParentArc, aggUpMsg{v: acc})
 			} else {
 				result = acc
 				deliver()
 			}
 		}
 		if k < 2*h+2 {
-			inbox = ctx.StepRound()
+			ctx.Step()
 		}
 	}
 	if !haveResult {

@@ -26,6 +26,12 @@ type Info struct {
 	Parent   graph.NodeID // -1 at the root
 	Depth    int
 	Children []graph.NodeID
+	// ParentArc and ChildArcs are the arc indices (into ctx.Neighbors()) of
+	// the parent edge (-1 at the root) and the child edges, aligned with
+	// Children. Later phases route all tree traffic through them with the
+	// engine's SendArc/InboxArc fast paths.
+	ParentArc int
+	ChildArcs []int
 	// Height is depth(T), the paper's D; broadcast from the root.
 	Height int
 	// Count is the number of nodes n; broadcast from the root.
@@ -63,7 +69,7 @@ func (m doneMsg) Bits() int { return 3*congest.BitsForID(m.n) + 64 }
 // shared randomness (only the root's argument matters, mirroring a root
 // that locally draws the seed).
 func Phase(ctx *congest.Ctx, root graph.NodeID, seed int64) (*Info, error) {
-	info := &Info{Root: root, Parent: -1, Depth: -1}
+	info := &Info{Root: root, Parent: -1, ParentArc: -1, Depth: -1}
 	n := ctx.N()
 
 	// resolved counts neighbors whose status we know (their Offer or Accept
@@ -82,7 +88,7 @@ func Phase(ctx *congest.Ctx, root graph.NodeID, seed int64) (*Info, error) {
 		ctx.SendAll(offerMsg{depth: 0, n: n})
 	}
 	for done == nil {
-		var acceptTo graph.NodeID = -1
+		acceptArc := -1
 		for _, m := range ctx.StepRound() {
 			switch msg := m.Payload.(type) {
 			case offerMsg:
@@ -90,13 +96,15 @@ func Phase(ctx *congest.Ctx, root graph.NodeID, seed int64) (*Info, error) {
 				if !adopted {
 					adopted = true
 					info.Parent = m.From
+					info.ParentArc = ctx.ArcIndex(m.From)
 					info.Depth = msg.depth + 1
 					maxDepth = info.Depth
-					acceptTo = m.From
+					acceptArc = info.ParentArc
 				}
 			case acceptMsg:
 				resolved++
 				info.Children = append(info.Children, m.From)
+				info.ChildArcs = append(info.ChildArcs, ctx.ArcIndex(m.From))
 			case echoMsg:
 				childEcho++
 				if msg.maxDepth > maxDepth {
@@ -113,13 +121,13 @@ func Phase(ctx *congest.Ctx, root graph.NodeID, seed int64) (*Info, error) {
 		if done != nil {
 			break
 		}
-		if acceptTo != -1 {
+		if acceptArc != -1 {
 			// Adopt: accept the parent, offer to everyone else.
-			for _, a := range ctx.Neighbors() {
-				if a.To == acceptTo {
-					ctx.Send(a.To, acceptMsg{})
+			for k := range ctx.Neighbors() {
+				if k == acceptArc {
+					ctx.SendArc(k, acceptMsg{})
 				} else {
-					ctx.Send(a.To, offerMsg{depth: info.Depth, n: n})
+					ctx.SendArc(k, offerMsg{depth: info.Depth, n: n})
 				}
 			}
 		}
@@ -127,10 +135,10 @@ func Phase(ctx *congest.Ctx, root graph.NodeID, seed int64) (*Info, error) {
 		// (Children are a subset of resolved neighbors, so after resolution
 		// the children set is final.) If we accepted a parent this very round
 		// the parent edge is occupied; defer the echo to the next round.
-		if adopted && acceptTo == -1 && !echoSent && resolved == ctx.Degree() && childEcho == len(info.Children) {
+		if adopted && acceptArc == -1 && !echoSent && resolved == ctx.Degree() && childEcho == len(info.Children) {
 			echoSent = true
 			if ctx.ID() != root {
-				ctx.Send(info.Parent, echoMsg{maxDepth: maxDepth, count: count, n: n})
+				ctx.SendArc(info.ParentArc, echoMsg{maxDepth: maxDepth, count: count, n: n})
 			} else {
 				// Root: tree complete. Kick off the Done broadcast; endRound
 				// is when the deepest node will have processed it.
@@ -143,8 +151,8 @@ func Phase(ctx *congest.Ctx, root graph.NodeID, seed int64) (*Info, error) {
 	info.Height = done.height
 	info.Count = done.count
 	info.Seed = done.seed
-	for _, c := range info.Children {
-		ctx.Send(c, *done)
+	for _, k := range info.ChildArcs {
+		ctx.SendArc(k, *done)
 	}
 	// Align every node at the same global round before returning.
 	if done.endRound < ctx.Round() {

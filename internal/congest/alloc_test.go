@@ -1,0 +1,61 @@
+package congest_test
+
+import (
+	"testing"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/engbench"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+)
+
+// perRoundAllocs isolates the event-loop engine's steady-state (per-round)
+// allocation count: run the same protocol for r1 and r2 rounds on the same
+// graph and divide the allocation delta by the extra rounds. Per-run setup
+// (goroutine spawns, pool misses) is identical on both sides and cancels;
+// any genuine per-round allocation shows up ≥ (r2-r1) times.
+func perRoundAllocs(t *testing.T, g *graph.Graph, procFor func(rounds int) congest.Proc) float64 {
+	t.Helper()
+	const r1, r2 = 32, 1032
+	run := func(rounds int) {
+		if _, err := congest.Run(g, procFor(rounds), congest.Options{Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the run-state pool and per-node buffers at both sizes.
+	run(r2)
+	run(r1)
+	a1 := testing.AllocsPerRun(5, func() { run(r1) })
+	a2 := testing.AllocsPerRun(5, func() { run(r2) })
+	return (a2 - a1) / float64(r2-r1)
+}
+
+// TestAllocGuardBroadcast is the CI benchmark-regression guard for the
+// maximum-traffic path: flooding every edge every round must allocate
+// nothing per round in the steady state.
+func TestAllocGuardBroadcast(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineEventLoop)
+	defer congest.SetEngine(prev)
+	if per := perRoundAllocs(t, gen.Grid(16, 16), engbench.BroadcastProc); per > 0.02 {
+		t.Errorf("broadcast steady state allocates %.3f allocs/round, want 0", per)
+	}
+}
+
+// TestAllocGuardTokenRing is the sparse-traffic guard: a single circulating
+// token must not make idle mailboxes allocate (the pre-rewrite engine's
+// per-round inbox sweep allocated regardless of traffic).
+func TestAllocGuardTokenRing(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineEventLoop)
+	defer congest.SetEngine(prev)
+	const n = 64
+	g := gen.Ring(n)
+	if per := perRoundAllocs(t, g, func(rounds int) congest.Proc { return engbench.TokenRingProc(n, rounds) }); per > 0.02 {
+		t.Errorf("token ring steady state allocates %.3f allocs/round, want 0", per)
+	}
+}

@@ -14,13 +14,34 @@
 // The simulation is deterministic: nodes interact only through the engine at
 // round barriers and each node's random source is seeded from (Options.Seed,
 // node ID), so a run's outcome is independent of goroutine scheduling.
+//
+// # Engine internals
+//
+// The default engine (EngineEventLoop) allocates nothing in the steady
+// state. It exploits the model invariant that each edge-direction carries at
+// most one message per round: every node owns a fixed mailbox of degree(v)
+// slots indexed by in-arc, laid out in one flat arena of 2m slots mirroring
+// the graph's CSR arc arrays. Send writes straight into the receiver's slot
+// through the graph's precomputed reverse-arc permutation — no queues, no
+// per-round inbox slices — and slot occupancy is an epoch stamp (the round
+// number), so nothing is ever cleared between rounds. Two stamp/payload
+// arenas alternate by round parity so round-r readers never share an array
+// with round-r+1 writers. The round barrier is a single atomic countdown
+// with per-node parking: the last node to arrive becomes the round leader,
+// retires the round inline (round count, watchdog, cost accounting) and
+// unparks the survivors — there is no coordinator goroutine. Engine state
+// (runState) is pooled across runs, so a harness performing thousands of
+// simulations reuses one arena.
 package congest
 
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
+	"sync"
+	"sync/atomic"
 
 	"lcshortcut/internal/graph"
 )
@@ -28,7 +49,11 @@ import (
 // Payload is the content of a CONGEST message. Bits reports the payload's
 // size in bits, which the engine accounts and optionally enforces against
 // Options.MaxMessageBits. Implementations should report an honest encoding
-// size (IDs cost ~log2 n bits, etc.).
+// size (IDs cost ~log2 n bits, etc.). The engine never mutates a Payload and
+// may deliver the same Payload value to many receivers (SendAll), so
+// implementations must be treated as immutable once sent; a sent Payload may
+// stay referenced by the engine's mailbox arena until its slot is
+// overwritten by a later send or the run completes.
 type Payload interface {
 	Bits() int
 }
@@ -101,43 +126,94 @@ var (
 // run aborts, so they unwind and exit promptly.
 var errAbort = errors.New("congest: run aborted")
 
-type yieldKind int
+// Engine selects a simulation engine implementation.
+type Engine int32
 
 const (
-	yieldStep yieldKind = iota + 1
-	yieldDone
-	yieldFail
+	// EngineEventLoop is the default engine: arc-slot mailbox arenas, an
+	// atomic-countdown barrier with per-node parking, and pooled run state —
+	// zero allocations per round in the steady state.
+	EngineEventLoop Engine = iota
+	// EngineChannel is the channel-coordinator engine this repository used
+	// before the arena rewrite, kept as the behavioral reference: the golden
+	// identity tests assert byte-identical experiment tables across engines,
+	// and the engine benchmarks measure the speedup inside one binary.
+	EngineChannel
 )
 
-type yieldSignal struct {
-	id   graph.NodeID
-	kind yieldKind
-	err  error
+// defaultEngine is the engine Run dispatches to; differential tests and
+// benchmarks switch it via SetEngine.
+var defaultEngine atomic.Int32
+
+// SetEngine replaces the engine used by Run and returns the previous one.
+// It must not be called while simulations are in flight.
+func SetEngine(e Engine) Engine {
+	return Engine(defaultEngine.Swap(int32(e)))
 }
 
-type outMsg struct {
-	to      graph.NodeID
-	payload Payload
+// CurrentEngine returns the engine Run currently dispatches to.
+func CurrentEngine() Engine { return Engine(defaultEngine.Load()) }
+
+// Run simulates proc on every vertex of g and returns the run's cost. It
+// returns an error if any node's Proc errs, violates the model, panics, or if
+// the watchdog bound is reached; the returned Stats are valid (partial) in
+// either case.
+func Run(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
+	return RunOn(CurrentEngine(), g, proc, opts)
 }
+
+// RunOn is Run on an explicitly chosen engine, regardless of the default.
+func RunOn(e Engine, g *graph.Graph, proc Proc, opts Options) (Stats, error) {
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultMaxRounds
+	}
+	if e == EngineChannel {
+		return runChannel(g, proc, opts)
+	}
+	return runEventLoop(g, proc, opts)
+}
+
+// Barrier arrival kinds published by a node before it joins the countdown.
+const (
+	arriveStep int32 = iota + 1
+	arriveDone
+	arriveFail
+)
 
 // Ctx is a node's handle to the simulation: its identity, neighborhood,
-// send buffer and the round barrier. A Ctx must only be used from the
+// send fast paths and the round barrier. A Ctx must only be used from the
 // goroutine running its Proc.
 type Ctx struct {
 	id  graph.NodeID
 	g   *graph.Graph
-	run *runState
+	run *runState   // event-loop engine state (nil under the channel engine)
+	leg *legacyNode // channel engine state (nil under the event-loop engine)
 	rng *rand.Rand
+	// rngSrc is rng's seedable source, kept so pooled Ctxs reseed instead of
+	// reallocating the generator.
+	rngSrc rand.Source
 	// arcs is the node's adjacency materialized once from the graph's CSR
-	// arrays at run setup, so per-round neighbor scans stay view-cheap.
-	arcs   []graph.Arc
-	out    []outMsg
-	inbox  []Message
+	// arrays at run setup (a sub-slice of the run's shared arc arena).
+	arcs []graph.Arc
+	// lo is the global CSR index of this node's first arc: arc k of this node
+	// is global arc lo+k, and mailbox slot lo+k holds the message arriving
+	// from neighbor k.
+	lo     int32
 	round  int
-	resume chan []Message
-	// sentAt[i] holds round+1 when a message was already buffered for
-	// neighbor index i this round.
-	sentAt []int
+	idBits int
+
+	// Barrier state (event-loop engine).
+	arrival int32
+	err     error
+	park    chan struct{}
+	inbox   []Message
+
+	// Send accounting since the last delivery barrier; the round leader
+	// flushes these into the run totals exactly when the channel engine's
+	// delivery pass would have counted them.
+	pMsgs int64
+	pBits int64
+	pMax  int
 }
 
 // ID returns the vertex this Ctx is bound to.
@@ -150,12 +226,30 @@ func (c *Ctx) Round() int { return c.round }
 // polynomially tight bound on n; we expose the exact value.
 func (c *Ctx) N() int { return c.g.NumNodes() }
 
+// IDBits returns BitsForID(N()) — the run-wide ID encoding width, computed
+// once per run so payload size accounting need not recompute it per message.
+func (c *Ctx) IDBits() int { return c.idBits }
+
 // Neighbors returns the adjacency list of this node (arcs carry the global
-// EdgeID of each incident edge). The slice is owned by the Ctx.
+// EdgeID of each incident edge). The slice is owned by the Ctx. The index of
+// an arc in this slice is the arc index accepted by SendArc and InboxArc.
 func (c *Ctx) Neighbors() []graph.Arc { return c.arcs }
 
 // Degree returns the node's degree.
-func (c *Ctx) Degree() int { return c.g.Degree(c.id) }
+func (c *Ctx) Degree() int { return len(c.arcs) }
+
+// ArcIndex returns the index of the arc leading to neighbor `to`, or -1 if
+// `to` is not a neighbor. It is a linear scan — intended for protocols to
+// resolve a NodeID to an arc index once and then use the SendArc/InboxArc
+// fast paths.
+func (c *Ctx) ArcIndex(to graph.NodeID) int {
+	for i, a := range c.arcs {
+		if a.To == to {
+			return i
+		}
+	}
+	return -1
+}
 
 // Rand returns the node-local deterministic random source.
 func (c *Ctx) Rand() *rand.Rand { return c.rng }
@@ -168,40 +262,82 @@ func (c *Ctx) EdgeWeight(id graph.EdgeID) int64 { return c.g.Edge(id).W }
 // It reports a model violation if `to` is not a neighbor, if a message was
 // already buffered to `to` this round, or if the payload exceeds a strict bit
 // budget. Violations abort the run (they are programmer errors in protocol
-// code, surfaced as errors from Run).
+// code, surfaced as errors from Run). Protocols on a hot path should resolve
+// the neighbor once with ArcIndex and use SendArc instead.
 func (c *Ctx) Send(to graph.NodeID, p Payload) {
-	idx := -1
-	for i, a := range c.arcs {
-		if a.To == to {
-			idx = i
-			break
-		}
-	}
+	idx := c.ArcIndex(to)
 	if idx == -1 {
 		c.fail(fmt.Errorf("%w: node %d sent to non-neighbor %d in round %d", ErrModelViolation, c.id, to, c.round))
 	}
-	c.sendIdx(idx, to, p)
+	c.SendArc(idx, p)
 }
 
-// sendIdx buffers a message to the neighbor at arcs index idx, enforcing the
-// per-edge-direction and message-size budgets.
-func (c *Ctx) sendIdx(idx int, to graph.NodeID, p Payload) {
-	if c.sentAt[idx] == c.round+1 {
-		c.fail(fmt.Errorf("%w: node %d sent twice to neighbor %d in round %d", ErrModelViolation, c.id, to, c.round))
+// SendArc buffers a message to the neighbor at arc index k (the index into
+// Neighbors()) for delivery at the next barrier — the O(1) fast path behind
+// Send, enforcing the same per-edge-direction and message-size budgets.
+func (c *Ctx) SendArc(k int, p Payload) {
+	if uint(k) >= uint(len(c.arcs)) {
+		c.fail(fmt.Errorf("%w: node %d sent on invalid arc index %d (degree %d) in round %d",
+			ErrModelViolation, c.id, k, len(c.arcs), c.round))
 	}
-	if limit := c.run.opts.MaxMessageBits; limit > 0 && p.Bits() > limit {
-		c.fail(fmt.Errorf("%w: node %d sent %d-bit message (budget %d) in round %d", ErrModelViolation, c.id, p.Bits(), limit, c.round))
+	if c.leg != nil {
+		c.leg.sendIdx(c, k, p)
+		return
 	}
-	c.sentAt[idx] = c.round + 1
-	c.out = append(c.out, outMsg{to: to, payload: p})
+	rs := c.run
+	stamp := int32(c.round) + 1
+	buf := stamp & 1
+	s := rs.rev[c.lo+int32(k)]
+	if rs.stamp[buf][s] == stamp {
+		c.fail(fmt.Errorf("%w: node %d sent twice to neighbor %d in round %d", ErrModelViolation, c.id, c.arcs[k].To, c.round))
+	}
+	b := p.Bits()
+	if limit := rs.opts.MaxMessageBits; limit > 0 && b > limit {
+		c.fail(fmt.Errorf("%w: node %d sent %d-bit message (budget %d) in round %d", ErrModelViolation, c.id, b, limit, c.round))
+	}
+	rs.stamp[buf][s] = stamp
+	rs.pay[buf][s] = p
+	c.pMsgs++
+	c.pBits += int64(b)
+	if b > c.pMax {
+		c.pMax = b
+	}
 }
 
-// SendAll sends the same payload to every neighbor this round. It addresses
-// neighbors by arc index directly, so a broadcast is O(degree) rather than
-// degree scans of the adjacency.
+// SendAll sends the same payload to every neighbor this round. On the
+// event-loop engine it is a single pass over the node's reverse-arc slice
+// with the budget checks hoisted out of the loop — the broadcast-flood fast
+// path.
 func (c *Ctx) SendAll(p Payload) {
-	for i, a := range c.arcs {
-		c.sendIdx(i, a.To, p)
+	if c.leg != nil {
+		for i := range c.arcs {
+			c.leg.sendIdx(c, i, p)
+		}
+		return
+	}
+	deg := len(c.arcs)
+	if deg == 0 {
+		return
+	}
+	rs := c.run
+	stamp := int32(c.round) + 1
+	buf := stamp & 1
+	st, pay := rs.stamp[buf], rs.pay[buf]
+	b := p.Bits()
+	if limit := rs.opts.MaxMessageBits; limit > 0 && b > limit {
+		c.fail(fmt.Errorf("%w: node %d sent %d-bit message (budget %d) in round %d", ErrModelViolation, c.id, b, limit, c.round))
+	}
+	for i, s := range rs.rev[c.lo : c.lo+int32(deg)] {
+		if st[s] == stamp {
+			c.fail(fmt.Errorf("%w: node %d sent twice to neighbor %d in round %d", ErrModelViolation, c.id, c.arcs[i].To, c.round))
+		}
+		st[s] = stamp
+		pay[s] = p
+	}
+	c.pMsgs += int64(deg)
+	c.pBits += int64(deg) * int64(b)
+	if b > c.pMax {
+		c.pMax = b
 	}
 }
 
@@ -209,168 +345,362 @@ func (c *Ctx) SendAll(p Payload) {
 // waits until every live node has done the same, and returns the messages
 // neighbors sent this round (sorted by sender ID). Message delivery follows
 // the CONGEST convention — a message sent in round r is available at the
-// start of round r+1.
+// start of round r+1. The returned slice is reused: it is valid only until
+// the node's next Step/StepRound.
 func (c *Ctx) StepRound() []Message {
-	c.run.yield <- yieldSignal{id: c.id, kind: yieldStep}
-	in, ok := <-c.resume
-	if !ok {
-		panic(errAbort)
+	if c.leg != nil {
+		return c.leg.step(c)
 	}
-	c.round++
-	return in
+	c.stepBarrier()
+	return c.gather()
+}
+
+// Step is the barrier alone: like StepRound but without materializing the
+// inbox, for protocols that read specific arcs through InboxArc instead.
+func (c *Ctx) Step() {
+	if c.leg != nil {
+		c.leg.step(c)
+		return
+	}
+	c.stepBarrier()
+}
+
+// InboxArc returns the message the neighbor at arc index k sent this round,
+// if any. It reads the mailbox slot directly — no scan, no allocation — and
+// is valid between a Step (or StepRound) and the node's next barrier. An
+// out-of-range index is a model violation, mirroring SendArc.
+func (c *Ctx) InboxArc(k int) (Payload, bool) {
+	if uint(k) >= uint(len(c.arcs)) {
+		c.fail(fmt.Errorf("%w: node %d read invalid arc index %d (degree %d) in round %d",
+			ErrModelViolation, c.id, k, len(c.arcs), c.round))
+	}
+	if c.leg != nil {
+		return c.leg.inboxArc(c, k)
+	}
+	stamp := int32(c.round)
+	if stamp == 0 {
+		return nil, false
+	}
+	buf := stamp & 1
+	s := c.lo + int32(k)
+	if c.run.stamp[buf][s] != stamp {
+		return nil, false
+	}
+	return c.run.pay[buf][s], true
 }
 
 // Idle advances the node through k barriers, discarding anything received.
 // Use it only where the protocol guarantees no meaningful traffic arrives.
 func (c *Ctx) Idle(k int) {
 	for i := 0; i < k; i++ {
-		c.StepRound()
+		c.Step()
 	}
+}
+
+// stepBarrier joins the countdown barrier as a stepping node and advances
+// the local round clock once released.
+func (c *Ctx) stepBarrier() {
+	c.arrive(arriveStep)
+	c.round++
+}
+
+// gather materializes this round's inbox from the mailbox slots, scanning
+// them in ascending sender ID (the graph's precomputed by-neighbor order) so
+// inbox order is deterministic without sorting. The buffer is reused.
+func (c *Ctx) gather() []Message {
+	rs := c.run
+	stamp := int32(c.round)
+	buf := stamp & 1
+	st := rs.stamp[buf]
+	pay := rs.pay[buf]
+	c.inbox = c.inbox[:0]
+	lo := c.lo
+	for _, j := range rs.order[lo : lo+int32(len(c.arcs))] {
+		if s := lo + int32(j); st[s] == stamp {
+			c.inbox = append(c.inbox, Message{From: c.arcs[j].To, Payload: pay[s]})
+		}
+	}
+	return c.inbox
 }
 
 // fail aborts the run with err, unwinding this goroutine.
 func (c *Ctx) fail(err error) {
-	c.run.yield <- yieldSignal{id: c.id, kind: yieldFail, err: err}
-	<-c.resume // engine closes the channel
+	if c.leg != nil {
+		c.leg.fail(c, err)
+	}
+	c.err = err
+	c.arrive(arriveFail)
 	panic(errAbort)
 }
 
+// arrive publishes this node's barrier arrival and joins the countdown. The
+// last arriver leads the round (classification, accounting, watchdog, wake).
+// Stepping nodes return once released into the next round; done/fail
+// arrivals return immediately after their (possible) leadership duty, since
+// their goroutine is exiting.
+func (c *Ctx) arrive(kind int32) {
+	c.arrival = kind
+	rs := c.run
+	if rs.pending.Add(-1) == 0 {
+		rs.lead(c)
+	} else if kind == arriveStep {
+		<-c.park
+	} else {
+		return
+	}
+	if kind == arriveStep && rs.aborted {
+		panic(errAbort)
+	}
+}
+
+// runState is the pooled per-run engine state: the mailbox arenas, the node
+// table, the live set and the barrier countdown.
 type runState struct {
-	g     *graph.Graph
-	opts  Options
-	yield chan yieldSignal
-	nodes []*Ctx
+	g    *graph.Graph
+	opts Options
+	// rev and order alias the graph's derived arc views (see graph.RevArcs
+	// and graph.ArcsByNeighborID).
+	rev   []int32
+	order []int32
+	// nodes is the node table (length = capacity high-water mark; the first
+	// NumNodes entries belong to the current run).
+	nodes []Ctx
+	// arcArena backs every node's Neighbors() slice, laid out exactly like
+	// the CSR arc arrays.
+	arcArena []graph.Arc
+	// stamp/pay are the mailbox arenas: slot lo(v)+k holds the message
+	// in flight to v from its k-th neighbor, stamped with the round at which
+	// it becomes readable. Two arenas alternate by round parity so round-r
+	// readers never share an array with round-(r+1) writers; stale stamps
+	// simply never match, so nothing is cleared between rounds.
+	stamp [2][]int32
+	pay   [2][]Payload
+	// live lists the nodes still running, ascending; rebuilt in place by the
+	// round leader.
+	live    []int32
+	pending atomic.Int32
+	aborted bool
+	err     error
+
+	rounds  int
+	msgs    int64
+	bitsSum int64
+	maxBits int
+	wg      sync.WaitGroup
 }
 
-// Run simulates proc on every vertex of g and returns the run's cost. It
-// returns an error if any node's Proc errs, violates the model, panics, or if
-// the watchdog bound is reached; the returned Stats are valid (partial) in
-// either case.
-func Run(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
+var runPool = sync.Pool{New: func() any { return new(runState) }}
+
+// lead retires the round: it runs on the last node to arrive at the barrier,
+// with every live node accounted for (parked steppers, exiting done/fail
+// arrivals). It classifies arrivals, aborts on failure or watchdog, flushes
+// the arrivers' send accounting when the round delivers, resets the
+// countdown and unparks the survivors.
+func (rs *runState) lead(leader *Ctx) {
+	arrived := rs.live
+	var err error
+	steppers := 0
+	for _, id := range arrived {
+		nd := &rs.nodes[id]
+		switch nd.arrival {
+		case arriveStep:
+			steppers++
+		case arriveFail:
+			if err == nil {
+				err = nd.err
+			}
+		}
+	}
+	if err == nil && steppers > 0 {
+		rs.rounds++
+		if rs.rounds > rs.opts.MaxRounds {
+			err = fmt.Errorf("%w (%d)", ErrMaxRounds, rs.opts.MaxRounds)
+		}
+	}
+	deliver := err == nil && steppers > 0
+	w := 0
+	for _, id := range arrived {
+		nd := &rs.nodes[id]
+		if deliver {
+			// Matches the channel engine's delivery pass: sends buffered by
+			// this barrier are counted even if the sender has finished, and
+			// not counted at all when the run aborts or ends this barrier.
+			rs.msgs += nd.pMsgs
+			rs.bitsSum += nd.pBits
+			if nd.pMax > rs.maxBits {
+				rs.maxBits = nd.pMax
+			}
+			nd.pMsgs, nd.pBits, nd.pMax = 0, 0, 0
+		}
+		if nd.arrival == arriveStep {
+			rs.live[w] = id
+			w++
+		}
+	}
+	rs.live = rs.live[:w]
+	if err != nil {
+		rs.err = err
+		rs.aborted = true
+	} else {
+		rs.pending.Store(int32(w))
+	}
+	for _, id := range rs.live {
+		if nd := &rs.nodes[id]; nd != leader {
+			nd.park <- struct{}{}
+		}
+	}
+}
+
+// runEventLoop drives one simulation on the arena engine.
+func runEventLoop(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 	n := g.NumNodes()
-	if opts.MaxRounds == 0 {
-		opts.MaxRounds = DefaultMaxRounds
+	if n == 0 {
+		return Stats{}, nil
 	}
-	rs := &runState{
-		g:     g,
-		opts:  opts,
-		yield: make(chan yieldSignal, n),
-		nodes: make([]*Ctx, n),
+	// Slot stamps are int32 round numbers.
+	if opts.MaxRounds > math.MaxInt32-2 {
+		opts.MaxRounds = math.MaxInt32 - 2
 	}
+	rs := acquireRun(g, opts)
+	rs.wg.Add(n)
 	for v := 0; v < n; v++ {
-		rs.nodes[v] = &Ctx{
-			id:     v,
-			g:      g,
-			run:    rs,
-			rng:    rand.New(rand.NewSource(mix(opts.Seed, int64(v)))),
-			arcs:   g.AppendArcs(make([]graph.Arc, 0, g.Degree(v)), v),
-			resume: make(chan []Message, 1),
-			sentAt: make([]int, g.Degree(v)),
-		}
+		go nodeMain(&rs.nodes[v], proc)
 	}
-	for v := 0; v < n; v++ {
-		go func(ctx *Ctx) {
-			defer func() {
-				if r := recover(); r != nil {
-					if err, ok := r.(error); ok && errors.Is(err, errAbort) {
-						return // engine-initiated unwind
-					}
-					rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d panicked: %v", ctx.id, r)}
-					return
-				}
-			}()
-			if err := proc(ctx); err != nil {
-				rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d: %w", ctx.id, err)}
-				return
-			}
-			rs.yield <- yieldSignal{id: ctx.id, kind: yieldDone}
-		}(rs.nodes[v])
-	}
-	return coordinate(rs)
+	rs.wg.Wait()
+	stats := Stats{Rounds: rs.rounds, Messages: rs.msgs, TotalBits: rs.bitsSum, MaxMessageBits: rs.maxBits}
+	err := rs.err
+	releaseRun(rs)
+	return stats, err
 }
 
-// coordinate drives round barriers until all nodes finish or the run aborts.
-func coordinate(rs *runState) (Stats, error) {
-	var (
-		stats    Stats
-		firstErr error
-		alive    = len(rs.nodes)
-		waiting  = make([]graph.NodeID, 0, alive)
-		inboxes  = make([][]Message, len(rs.nodes))
-	)
-	// abort releases every node still blocked at the barrier (they unwind via
-	// errAbort and exit silently) and drains signals from nodes still
-	// computing, so no goroutine outlives Run.
-	abort := func() {
-		for _, id := range waiting {
-			close(rs.nodes[id].resume)
-			alive--
-		}
-		waiting = waiting[:0]
-		for alive > 0 {
-			sig := <-rs.yield
-			if sig.kind == yieldStep || sig.kind == yieldFail {
-				close(rs.nodes[sig.id].resume)
+// nodeMain is the per-node goroutine wrapper: it converts proc errors and
+// panics into fail arrivals and normal returns into done arrivals.
+func nodeMain(c *Ctx, proc Proc) {
+	defer c.run.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errAbort) {
+				return // engine-initiated unwind
 			}
-			alive--
+			c.err = fmt.Errorf("congest: node %d panicked: %v", c.id, r)
+			c.arrive(arriveFail)
+		}
+	}()
+	if err := proc(c); err != nil {
+		c.err = fmt.Errorf("congest: node %d: %w", c.id, err)
+		c.arrive(arriveFail)
+		return
+	}
+	c.arrive(arriveDone)
+}
+
+// acquireRun takes a runState from the pool and sizes/resets it for g. All
+// buffers grow to high-water marks and are reused across runs; freshly grown
+// arrays are zero and released ones were scrubbed by releaseRun, so stamps
+// start unoccupied without a per-acquire clear.
+func acquireRun(g *graph.Graph, opts Options) *runState {
+	rs := runPool.Get().(*runState)
+	n := g.NumNodes()
+	numArcs := int(g.ArcOffset(n))
+	rs.g, rs.opts = g, opts
+	rs.rev, rs.order = g.RevArcs(), g.ArcsByNeighborID()
+
+	for i := range rs.stamp {
+		rs.stamp[i] = growInt32(rs.stamp[i], numArcs)
+		rs.pay[i] = growPayload(rs.pay[i], numArcs)
+	}
+	if cap(rs.arcArena) < numArcs {
+		rs.arcArena = make([]graph.Arc, 0, numArcs)
+	}
+	arena := rs.arcArena[:0]
+	for v := 0; v < n; v++ {
+		arena = g.AppendArcs(arena, v)
+	}
+	rs.arcArena = arena
+	if len(rs.nodes) < n {
+		nodes := make([]Ctx, n)
+		copy(nodes, rs.nodes)
+		rs.nodes = nodes
+	}
+	rs.live = growInt32(rs.live, n)
+	idBits := BitsForID(n)
+	for v := 0; v < n; v++ {
+		nd := &rs.nodes[v]
+		nd.id = v
+		nd.g = g
+		nd.run = rs
+		nd.leg = nil
+		lo, hi := g.ArcOffset(v), g.ArcOffset(v+1)
+		nd.arcs = arena[lo:hi:hi]
+		nd.lo = lo
+		nd.round = 0
+		nd.idBits = idBits
+		nd.arrival = 0
+		nd.err = nil
+		nd.inbox = nd.inbox[:0]
+		nd.pMsgs, nd.pBits, nd.pMax = 0, 0, 0
+		seed := mix(opts.Seed, int64(v))
+		if nd.rngSrc == nil {
+			nd.rngSrc = rand.NewSource(seed)
+			nd.rng = rand.New(nd.rngSrc)
+		} else {
+			nd.rngSrc.Seed(seed)
+		}
+		if nd.park == nil {
+			nd.park = make(chan struct{}, 1)
+		}
+		rs.live[v] = int32(v)
+	}
+	rs.pending.Store(int32(n))
+	rs.aborted = false
+	rs.err = nil
+	rs.rounds, rs.msgs, rs.bitsSum, rs.maxBits = 0, 0, 0, 0
+	return rs
+}
+
+// releaseRun scrubs stale stamps and payload/graph references (so pooled
+// state neither resurrects ghost messages nor pins a finished run's memory)
+// and returns rs to the pool.
+func releaseRun(rs *runState) {
+	for i := range rs.stamp {
+		st, pay := rs.stamp[i], rs.pay[i]
+		for k := range st {
+			st[k] = 0
+		}
+		for k := range pay {
+			pay[k] = nil
 		}
 	}
-	for alive > 0 {
-		// Gather one signal from every live node.
-		for len(waiting) < alive {
-			sig := <-rs.yield
-			switch sig.kind {
-			case yieldStep:
-				waiting = append(waiting, sig.id)
-			case yieldDone:
-				alive--
-			case yieldFail:
-				if firstErr == nil {
-					firstErr = sig.err
-				}
-				close(rs.nodes[sig.id].resume)
-				alive--
-			}
+	n := rs.g.NumNodes()
+	for v := 0; v < n; v++ {
+		nd := &rs.nodes[v]
+		inbox := nd.inbox[:cap(nd.inbox)]
+		for k := range inbox {
+			inbox[k] = Message{}
 		}
-		if firstErr != nil {
-			abort()
-			return stats, firstErr
-		}
-		if alive == 0 {
-			break
-		}
-		stats.Rounds++
-		if stats.Rounds > rs.opts.MaxRounds {
-			firstErr = fmt.Errorf("%w (%d)", ErrMaxRounds, rs.opts.MaxRounds)
-			abort()
-			return stats, firstErr
-		}
-		// Deliver: iterate senders in ID order for deterministic inboxes.
-		for id, ctx := range rs.nodes {
-			for _, m := range ctx.out {
-				inboxes[m.to] = append(inboxes[m.to], Message{From: id, Payload: m.payload})
-				stats.Messages++
-				b := m.payload.Bits()
-				stats.TotalBits += int64(b)
-				if b > stats.MaxMessageBits {
-					stats.MaxMessageBits = b
-				}
-			}
-			ctx.out = ctx.out[:0]
-		}
-		sort.Ints(waiting)
-		for _, id := range waiting {
-			in := inboxes[id]
-			inboxes[id] = nil
-			rs.nodes[id].resume <- in
-		}
-		waiting = waiting[:0]
-		// Messages to already-finished nodes are dropped.
-		for id := range inboxes {
-			inboxes[id] = nil
-		}
+		nd.inbox = inbox[:0]
+		nd.g = nil
+		nd.arcs = nil
+		nd.run = nil
 	}
-	return stats, nil
+	rs.g = nil
+	rs.rev, rs.order = nil, nil
+	rs.err = nil
+	runPool.Put(rs)
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growPayload(s []Payload, n int) []Payload {
+	if cap(s) < n {
+		return make([]Payload, n)
+	}
+	return s[:n]
 }
 
 // mix derives a node-local seed from the run seed; splitmix64 finalizer.
@@ -388,9 +718,8 @@ func mix(seed, id int64) int64 {
 // a value in [0, n): ceil(log2(n)), at least 1. It is the building block for
 // honest Payload.Bits implementations.
 func BitsForID(n int) int {
-	bits := 1
-	for v := 2; v < n; v *= 2 {
-		bits++
+	if n <= 2 {
+		return 1
 	}
-	return bits
+	return bits.Len(uint(n - 1))
 }

@@ -1,0 +1,387 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+)
+
+// engines enumerates both engine implementations for table-driven tests; the
+// rewrite must preserve every edge-case behavior of the channel reference.
+var engines = []struct {
+	name string
+	e    Engine
+}{
+	{"eventloop", EngineEventLoop},
+	{"channel", EngineChannel},
+}
+
+// TestEnginesSendToFinishedDropped checks that messages addressed to a node
+// that already returned are dropped (and do not wedge the engine), on both
+// engines.
+func TestEnginesSendToFinishedDropped(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			g := gen.Path(3)
+			got := 0
+			_, err := RunOn(eng.e, g, func(ctx *Ctx) error {
+				switch ctx.ID() {
+				case 0:
+					return nil // finishes immediately
+				case 1:
+					// Keeps sending to the finished node for several rounds.
+					for r := 0; r < 5; r++ {
+						ctx.Send(0, intMsg{v: r, bits: 8})
+						for range ctx.StepRound() {
+							got++
+						}
+					}
+				default:
+					ctx.Idle(5)
+				}
+				return nil
+			}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 0 {
+				t.Errorf("live node received %d stray messages", got)
+			}
+		})
+	}
+}
+
+// TestEnginesViolations checks that every model violation still aborts with
+// ErrModelViolation on both engines: double-send on one edge-direction,
+// sending to a non-neighbor, an invalid arc index, and an oversized payload
+// under a strict budget.
+func TestEnginesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		proc Proc
+	}{
+		{"double-send", Options{}, func(ctx *Ctx) error {
+			if ctx.ID() == 0 {
+				ctx.Send(1, intMsg{bits: 1})
+				ctx.Send(1, intMsg{bits: 1})
+			}
+			ctx.StepRound()
+			return nil
+		}},
+		{"double-send-arc", Options{}, func(ctx *Ctx) error {
+			if ctx.ID() == 0 {
+				ctx.SendArc(0, intMsg{bits: 1})
+				ctx.SendArc(0, intMsg{bits: 1})
+			}
+			ctx.StepRound()
+			return nil
+		}},
+		{"non-neighbor", Options{}, func(ctx *Ctx) error {
+			if ctx.ID() == 0 {
+				ctx.Send(3, intMsg{bits: 1})
+			}
+			ctx.StepRound()
+			return nil
+		}},
+		{"bad-arc-index", Options{}, func(ctx *Ctx) error {
+			if ctx.ID() == 0 {
+				ctx.SendArc(7, intMsg{bits: 1})
+			}
+			ctx.StepRound()
+			return nil
+		}},
+		{"oversized", Options{MaxMessageBits: 16}, func(ctx *Ctx) error {
+			if ctx.ID() == 0 {
+				ctx.Send(1, intMsg{bits: 64})
+			}
+			ctx.StepRound()
+			return nil
+		}},
+	}
+	for _, eng := range engines {
+		for _, tc := range cases {
+			t.Run(eng.name+"/"+tc.name, func(t *testing.T) {
+				g := gen.Path(4) // nodes 0 and 3 not adjacent
+				_, err := RunOn(eng.e, g, tc.proc, tc.opts)
+				if !errors.Is(err, ErrModelViolation) {
+					t.Fatalf("err = %v, want ErrModelViolation", err)
+				}
+			})
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most base
+// (with slack for runtime helpers), so abort-path unwinding cannot flake the
+// leak assertions.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, want <= %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestEventLoopWatchdogNoGoroutineLeak checks that a MaxRounds abort unwinds
+// every node goroutine before Run returns: the event-loop engine joins all
+// node goroutines, so the count must be back to baseline immediately; the
+// channel reference may lag by its asynchronous unwinding, which the poll
+// absorbs.
+func TestEventLoopWatchdogNoGoroutineLeak(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			g := gen.Grid(8, 8)
+			_, err := RunOn(eng.e, g, func(ctx *Ctx) error {
+				for {
+					ctx.SendAll(intMsg{bits: 4})
+					ctx.StepRound()
+				}
+			}, Options{MaxRounds: 25})
+			if !errors.Is(err, ErrMaxRounds) {
+				t.Fatalf("err = %v, want ErrMaxRounds", err)
+			}
+			if eng.e == EngineEventLoop && runtime.NumGoroutine() > base {
+				t.Errorf("event-loop Run returned with %d goroutines, baseline %d (must join all nodes)",
+					runtime.NumGoroutine(), base)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestEventLoopAbortNoGoroutineLeak is the same assertion for proc-error and
+// model-violation aborts.
+func TestEventLoopAbortNoGoroutineLeak(t *testing.T) {
+	boom := errors.New("boom")
+	cases := []struct {
+		name string
+		proc Proc
+	}{
+		{"proc-error", func(ctx *Ctx) error {
+			if ctx.ID() == 3 {
+				ctx.StepRound()
+				return boom
+			}
+			for {
+				ctx.StepRound()
+			}
+		}},
+		{"violation", func(ctx *Ctx) error {
+			if ctx.ID() == 3 && ctx.Round() == 2 {
+				ctx.SendArc(0, intMsg{bits: 1})
+				ctx.SendArc(0, intMsg{bits: 1})
+			}
+			for {
+				ctx.StepRound()
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			g := gen.Ring(12)
+			_, err := RunOn(EngineEventLoop, g, tc.proc, Options{})
+			if err == nil {
+				t.Fatal("expected an error")
+			}
+			if runtime.NumGoroutine() > base {
+				t.Errorf("Run returned with %d goroutines, baseline %d", runtime.NumGoroutine(), base)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestEnginesDifferential runs a messy randomized protocol — uneven
+// termination, traffic to finished nodes, random payload sizes — on both
+// engines and requires identical per-node outputs and identical Stats.
+func TestEnginesDifferential(t *testing.T) {
+	graphs := []*graph.Graph{
+		gen.Path(9),
+		gen.Ring(16),
+		gen.Grid(6, 7),
+		gen.Star(11),
+		gen.ErdosRenyi(40, 0.12, 3),
+	}
+	proc := func(out []int) Proc {
+		return func(ctx *Ctx) error {
+			acc := 0
+			lifetime := 1 + ctx.Rand().Intn(12)
+			for r := 0; r < lifetime; r++ {
+				for k, a := range ctx.Neighbors() {
+					if ctx.Rand().Intn(3) == 0 {
+						ctx.SendArc(k, intMsg{v: acc ^ a.To, bits: 4 + ctx.Rand().Intn(12)})
+					}
+				}
+				for _, m := range ctx.StepRound() {
+					acc = acc*31 + m.Payload.(intMsg).v*(m.From+1)
+				}
+			}
+			out[ctx.ID()] = acc
+			return nil
+		}
+	}
+	for gi, g := range graphs {
+		var ref []int
+		var refStats Stats
+		for _, eng := range engines {
+			out := make([]int, g.NumNodes())
+			stats, err := RunOn(eng.e, g, proc(out), Options{Seed: int64(100 + gi)})
+			if err != nil {
+				t.Fatalf("graph %d engine %s: %v", gi, eng.name, err)
+			}
+			if eng.e == EngineEventLoop {
+				ref, refStats = out, stats
+				continue
+			}
+			for v := range out {
+				if out[v] != ref[v] {
+					t.Fatalf("graph %d node %d: %s=%d, eventloop=%d", gi, v, eng.name, out[v], ref[v])
+				}
+			}
+			if stats != refStats {
+				t.Fatalf("graph %d stats differ: %s=%+v, eventloop=%+v", gi, eng.name, stats, refStats)
+			}
+		}
+	}
+}
+
+// TestStepInboxArc pins the fast-path contract: InboxArc returns (payload,
+// true) exactly for the arcs that carried a message this round, returns
+// false before the first barrier, and messages do not resurface in later
+// rounds.
+func TestStepInboxArc(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			g := gen.Ring(6)
+			// arc0Target(v) is where v's arc 0 leads in gen.Ring's edge
+			// insertion order: node 0's first incident edge is (0,1), node
+			// v>0's is (v-1,v).
+			arc0Target := func(v graph.NodeID) graph.NodeID {
+				if v == 0 {
+					return 1
+				}
+				return v - 1
+			}
+			_, err := RunOn(eng.e, g, func(ctx *Ctx) error {
+				if _, ok := ctx.InboxArc(0); ok {
+					return fmt.Errorf("node %d: InboxArc hit before any barrier", ctx.ID())
+				}
+				// Round 0: even nodes send a token on their arc 0.
+				if ctx.ID()%2 == 0 {
+					ctx.SendArc(0, intMsg{v: ctx.ID(), bits: 8})
+				}
+				ctx.Step()
+				for k, a := range ctx.Neighbors() {
+					p, ok := ctx.InboxArc(k)
+					want := a.To%2 == 0 && arc0Target(a.To) == ctx.ID()
+					if ok != want {
+						return fmt.Errorf("node %d arc %d: ok=%v, want %v", ctx.ID(), k, ok, want)
+					}
+					if ok && p.(intMsg).v != a.To {
+						return fmt.Errorf("node %d arc %d: payload %d, want %d", ctx.ID(), k, p.(intMsg).v, a.To)
+					}
+				}
+				// Round 1: silence; nothing may resurface.
+				ctx.Step()
+				for k := range ctx.Neighbors() {
+					if _, ok := ctx.InboxArc(k); ok {
+						return fmt.Errorf("node %d arc %d: stale message resurfaced", ctx.ID(), k)
+					}
+				}
+				return nil
+			}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPoolReuseNoGhostMessages runs a heavy-traffic simulation, then a
+// silent one on the same graph and a third on a smaller graph — the pooled
+// arenas must not resurrect any stale message or stat.
+func TestPoolReuseNoGhostMessages(t *testing.T) {
+	g := gen.Grid(9, 9)
+	if _, err := Run(g, floodProc(0, g.Diameter()+1, make([]int, g.NumNodes())), Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for trial, gg := range []*graph.Graph{g, gen.Path(5)} {
+		stats, err := Run(gg, func(ctx *Ctx) error {
+			for r := 0; r < 4; r++ {
+				if n := len(ctx.StepRound()); n != 0 {
+					return fmt.Errorf("node %d round %d: %d ghost messages", ctx.ID(), r, n)
+				}
+			}
+			return nil
+		}, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.Messages != 0 || stats.TotalBits != 0 || stats.MaxMessageBits != 0 {
+			t.Fatalf("trial %d: stale stats %+v", trial, stats)
+		}
+		if stats.Rounds != 4 {
+			t.Fatalf("trial %d: rounds = %d, want 4", trial, stats.Rounds)
+		}
+	}
+}
+
+// TestEnginesFinalSendsWithoutBarrier pins the "sends from a returning node
+// are still delivered" convention on both engines.
+func TestEnginesFinalSendsWithoutBarrier(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			g := gen.Path(2)
+			got := -1
+			_, err := RunOn(eng.e, g, func(ctx *Ctx) error {
+				if ctx.ID() == 0 {
+					ctx.Send(1, intMsg{v: 42, bits: 8})
+					return nil
+				}
+				in := ctx.StepRound()
+				if len(in) == 1 {
+					got = in[0].Payload.(intMsg).v
+				}
+				return nil
+			}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != 42 {
+				t.Errorf("receiver got %d, want 42", got)
+			}
+		})
+	}
+}
+
+// TestIDBits checks the cached per-run ID width matches BitsForID(n).
+func TestIDBits(t *testing.T) {
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			g := gen.Ring(37)
+			if _, err := RunOn(eng.e, g, func(ctx *Ctx) error {
+				if ctx.IDBits() != BitsForID(ctx.N()) {
+					return fmt.Errorf("IDBits() = %d, want %d", ctx.IDBits(), BitsForID(ctx.N()))
+				}
+				return nil
+			}, Options{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package congest_test
+
+// raceEnabled reports that the race detector instruments this build; its
+// per-round bookkeeping allocates, so the steady-state allocation guards
+// only run in non-race builds (CI's engine-bench job).
+const raceEnabled = true

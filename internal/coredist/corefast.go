@@ -136,7 +136,7 @@ func routeUp(
 				return nil, err
 			}
 			if ns.ParentUsable && len(unforwarded) > 0 {
-				ctx.Send(info.Parent, routeMsg{part: unforwarded[0], n: n})
+				ctx.SendArc(info.ParentArc, routeMsg{part: unforwarded[0], n: n})
 				unforwarded = unforwarded[1:]
 			}
 			inbox = ctx.StepRound()
@@ -201,8 +201,8 @@ func completionCheck(
 			case checkDownMsg:
 				decision = msg.cont
 				haveDecision = true
-				for _, c := range info.Children {
-					ctx.Send(c, checkDownMsg{cont: decision})
+				for _, ka := range info.ChildArcs {
+					ctx.SendArc(ka, checkDownMsg{cont: decision})
 				}
 			default:
 				stray = append(stray, m)
@@ -218,12 +218,12 @@ func completionCheck(
 			}
 			mine := subtreePending || pending()
 			if info.Parent != -1 {
-				ctx.Send(info.Parent, checkUpMsg{pending: mine})
+				ctx.SendArc(info.ParentArc, checkUpMsg{pending: mine})
 			} else {
 				decision = mine
 				haveDecision = true
-				for _, c := range info.Children {
-					ctx.Send(c, checkDownMsg{cont: decision})
+				for _, ka := range info.ChildArcs {
+					ctx.SendArc(ka, checkDownMsg{cont: decision})
 				}
 			}
 		}

@@ -76,13 +76,13 @@ func upwardPass(
 		if r >= myPhase*phaseLen && info.Parent != -1 && !termSent {
 			switch {
 			case unusable:
-				ctx.Send(info.Parent, termMsg{usable: false})
+				ctx.SendArc(info.ParentArc, termMsg{usable: false})
 				termSent = true
 			case sent < len(pending):
-				ctx.Send(info.Parent, idMsg{part: pending[sent], n: info.Count})
+				ctx.SendArc(info.ParentArc, idMsg{part: pending[sent], n: info.Count})
 				sent++
 			default:
-				ctx.Send(info.Parent, termMsg{usable: true})
+				ctx.SendArc(info.ParentArc, termMsg{usable: true})
 				termSent = true
 			}
 		}

@@ -1,0 +1,250 @@
+// Package engbench defines the CONGEST engine microbenchmark scenarios and a
+// self-contained harness for measuring them on both engines. The scenarios
+// are shared by the repository's `go test -bench BenchmarkCongest` suite and
+// by `cmd/experiments -bench-json`, which records the measurements in
+// BENCH_engine.json so the engine's perf trajectory is tracked in-repo.
+//
+// Scenario selection:
+//
+//   - broadcast flood — every node broadcasts to every neighbor every round:
+//     maximum traffic, stressing the send fast path and inbox assembly.
+//   - sparse token ring — one token circulates a large ring: almost no
+//     traffic, isolating per-round engine overhead (the channel engine paid
+//     an O(n) inbox-clear sweep and a sort per barrier here regardless of
+//     traffic; the arena engine pays O(degree) per stepping node).
+//   - BFS opening — the real bfsproto phase every composite protocol starts
+//     with, on the two largest generator families (grid256x256, er50000).
+//
+// Both microbenchmark protocols allocate nothing per round themselves
+// (zero-size payloads box without allocating, StepRound returns a reused
+// buffer), so measured allocs/op expose engine allocations only.
+package engbench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+)
+
+// beat is the zero-size microbenchmark payload: converting it to the Payload
+// interface allocates nothing, so steady-state engine allocations are
+// measured without protocol noise.
+type beat struct{}
+
+// Bits reports a 1-bit signal.
+func (beat) Bits() int { return 1 }
+
+// Scenario is one engine workload: a graph family plus a protocol run.
+type Scenario struct {
+	// Name identifies the scenario in benchmark output and BENCH_engine.json.
+	Name string
+	// Heavy marks scenarios whose single run takes minutes (bfsopen on
+	// grid256x256 simulates ~100M node-rounds): benchmark smoke runs skip
+	// them and Measure times exactly one iteration.
+	Heavy bool
+	// Graph returns the scenario's graph, built once and cached.
+	Graph func() *graph.Graph
+	// Run performs one simulation on g under the currently selected engine.
+	Run func(g *graph.Graph) (congest.Stats, error)
+}
+
+// BroadcastProc floods every edge in both directions for `rounds` rounds —
+// the maximum-traffic protocol (every node receives degree messages per
+// round and rebroadcasts).
+func BroadcastProc(rounds int) congest.Proc {
+	return func(ctx *congest.Ctx) error {
+		for r := 0; r < rounds; r++ {
+			ctx.SendAll(beat{})
+			ctx.StepRound()
+		}
+		return nil
+	}
+}
+
+// TokenRingProc circulates a single token around an n-ring for `rounds`
+// rounds — the sparse-traffic protocol: exactly one message is in flight per
+// round while every node still steps every barrier.
+func TokenRingProc(n, rounds int) congest.Proc {
+	return func(ctx *congest.Ctx) error {
+		next := ctx.ArcIndex((ctx.ID() + 1) % n)
+		have := ctx.ID() == 0
+		for r := 0; r < rounds; r++ {
+			if have {
+				ctx.SendArc(next, beat{})
+				have = false
+			}
+			if len(ctx.StepRound()) > 0 {
+				have = true
+			}
+		}
+		return nil
+	}
+}
+
+func cached(build func() *graph.Graph) func() *graph.Graph {
+	var once sync.Once
+	var g *graph.Graph
+	return func() *graph.Graph {
+		once.Do(func() { g = build() })
+		return g
+	}
+}
+
+// Scenarios returns the engine benchmark suite.
+func Scenarios() []Scenario {
+	const (
+		ringN      = 1024
+		floodGrid  = 48 // 48x48 grid, ~2.3k nodes, ~4.5k edges
+		floodSteps = 96
+	)
+	return []Scenario{
+		{
+			Name:  "broadcast/grid48x48",
+			Graph: cached(func() *graph.Graph { return gen.Grid(floodGrid, floodGrid) }),
+			Run: func(g *graph.Graph) (congest.Stats, error) {
+				return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1})
+			},
+		},
+		{
+			// Average degree ~16: traffic-dominated, so the channel engine's
+			// per-message inbox appends and per-round sweep dwarf the shared
+			// barrier cost.
+			Name:  "broadcast/er2048d16",
+			Graph: cached(func() *graph.Graph { return gen.ErdosRenyi(2048, 16.0/2047, 5) }),
+			Run: func(g *graph.Graph) (congest.Stats, error) {
+				return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1})
+			},
+		},
+		{
+			Name:  "tokenring/n1024",
+			Graph: cached(func() *graph.Graph { return gen.Ring(ringN) }),
+			Run: func(g *graph.Graph) (congest.Stats, error) {
+				return congest.Run(g, TokenRingProc(ringN, ringN), congest.Options{Seed: 1})
+			},
+		},
+		{
+			Name:  "bfsopen/grid256x256",
+			Heavy: true,
+			Graph: cached(func() *graph.Graph { return gen.Grid(256, 256) }),
+			Run: func(g *graph.Graph) (congest.Stats, error) {
+				_, stats, err := bfsproto.Run(g, 0, 7, congest.Options{})
+				return stats, err
+			},
+		},
+		{
+			Name:  "bfsopen/er50000",
+			Graph: cached(func() *graph.Graph { return gen.ErdosRenyi(50000, 0.0001, 1) }),
+			Run: func(g *graph.Graph) (congest.Stats, error) {
+				_, stats, err := bfsproto.Run(g, 0, 7, congest.Options{})
+				return stats, err
+			},
+		},
+	}
+}
+
+// EngineName renders an engine for reports.
+func EngineName(e congest.Engine) string {
+	if e == congest.EngineChannel {
+		return "channel"
+	}
+	return "event-loop"
+}
+
+// Measurement is one (scenario, engine) timing.
+type Measurement struct {
+	Scenario    string `json:"scenario"`
+	Engine      string `json:"engine"`
+	Iters       int    `json:"iters"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	SimRounds   int    `json:"sim_rounds"`
+	SimMessages int64  `json:"sim_messages"`
+}
+
+// Report is the BENCH_engine.json document: per-engine measurements plus the
+// event-loop-over-channel speedup per scenario.
+type Report struct {
+	GoVersion  string             `json:"go_version"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Results    []Measurement      `json:"results"`
+	Speedup    map[string]float64 `json:"speedup_event_loop_vs_channel"`
+}
+
+// Measure runs every scenario on both engines and assembles the report.
+// minIters and minDuration bound each measurement (whichever is hit last);
+// smoke runs pass (1, 0) and skipHeavy to drop the minutes-long scenarios.
+func Measure(minIters int, minDuration time.Duration, skipHeavy bool) (*Report, error) {
+	if minIters < 1 {
+		minIters = 1
+	}
+	rep := &Report{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Speedup:    make(map[string]float64),
+	}
+	perScenario := make(map[string]map[string]int64)
+	for _, sc := range Scenarios() {
+		if sc.Heavy && skipHeavy {
+			continue
+		}
+		g := sc.Graph()
+		perScenario[sc.Name] = make(map[string]int64)
+		for _, e := range []congest.Engine{congest.EngineChannel, congest.EngineEventLoop} {
+			m, err := measureOne(sc, g, e, minIters, minDuration)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, m)
+			perScenario[sc.Name][m.Engine] = m.NsPerOp
+		}
+	}
+	for name, engines := range perScenario {
+		if ev := engines["event-loop"]; ev > 0 {
+			rep.Speedup[name] = float64(engines["channel"]) / float64(ev)
+		}
+	}
+	return rep, nil
+}
+
+func measureOne(sc Scenario, g *graph.Graph, e congest.Engine, minIters int, minDuration time.Duration) (Measurement, error) {
+	if sc.Heavy {
+		minIters, minDuration = 1, 0
+	}
+	prev := congest.SetEngine(e)
+	defer congest.SetEngine(prev)
+	if !sc.Heavy {
+		// Warm engine pools and graph views outside the timed region (heavy
+		// scenarios amortize their cold start over a minutes-long run).
+		if _, err := sc.Run(g); err != nil {
+			return Measurement{}, err
+		}
+	}
+	var stats congest.Stats
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for iters < minIters || time.Since(start) < minDuration {
+		var err error
+		if stats, err = sc.Run(g); err != nil {
+			return Measurement{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Measurement{
+		Scenario:    sc.Name,
+		Engine:      EngineName(e),
+		Iters:       iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		SimRounds:   stats.Rounds,
+		SimMessages: stats.Messages,
+	}, nil
+}

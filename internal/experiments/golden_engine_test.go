@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"lcshortcut/internal/congest"
+)
+
+// encodeRun renders one full registry run (short grids) as the wall-stripped
+// JSON document `cmd/experiments -short -json` would emit.
+func encodeRun(t *testing.T, workers int) []byte {
+	t.Helper()
+	results, err := RunAll(Options{Workers: workers, Short: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(results)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenBaselineFile pins every experiment table, grid and simulated-cost
+// metric against testdata/golden_short.json, which was captured on the
+// pre-rewrite (PR 2) channel engine before the arena engine and the
+// SendArc/InboxArc protocol migration landed. Any drift in a seeded output —
+// an inbox ordering change, a lost or duplicated message, a miscounted
+// bit — fails here byte-for-byte.
+func TestGoldenBaselineFile(t *testing.T) {
+	f, err := os.Open("testdata/golden_short.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	baseline, err := ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(baseline)
+	var want bytes.Buffer
+	if err := WriteJSON(&want, baseline); err != nil {
+		t.Fatal(err)
+	}
+	got := encodeRun(t, 1)
+	if !bytes.Equal(want.Bytes(), got) {
+		t.Fatalf("experiment output drifted from the PR 2 golden baseline\n--- want (testdata/golden_short.json)\n%s\n--- got\n%s", want.Bytes(), got)
+	}
+}
+
+// TestGoldenEngineIdentity is the cross-engine contract behind the rewrite:
+// the full registry must produce byte-identical JSON on the event-loop and
+// channel engines, sequentially and on eight workers.
+func TestGoldenEngineIdentity(t *testing.T) {
+	type variant struct {
+		engine  congest.Engine
+		workers int
+	}
+	ref := encodeRun(t, 1) // current default engine, sequential
+	for _, v := range []variant{
+		{congest.EngineEventLoop, 8},
+		{congest.EngineChannel, 1},
+		{congest.EngineChannel, 8},
+	} {
+		prev := congest.SetEngine(v.engine)
+		got := encodeRun(t, v.workers)
+		congest.SetEngine(prev)
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("engine %v workers=%d diverges from event-loop workers=1 JSON", v.engine, v.workers)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package graph
+
+import "sync"
+
+// arcViews are derived per-graph arrays the CONGEST engine's arc-slot
+// mailboxes are laid out over. They are pure functions of the immutable CSR
+// adjacency, so they are computed at most once per graph (lazily, under a
+// sync.Once) and shared read-only by every simulation run on that graph.
+type arcViews struct {
+	once sync.Once
+	// rev[k] is the index of the mirror arc of CSR arc k: if arc k is u→v
+	// (the j-th arc of u), rev[k] is the index of arc v→u inside v's range.
+	// A message sent on out-arc k lands in the receiver's mailbox slot
+	// rev[k].
+	rev []int32
+	// byID holds, per vertex range, the vertex's local arc indices reordered
+	// so the neighbors they lead to appear in ascending NodeID order. The
+	// engine scans mailbox slots in this order, which makes inbox sender
+	// order deterministic without any per-round sort.
+	byID []int32
+}
+
+// ArcOffset returns the index into the global CSR arc arrays at which v's
+// arcs begin (v's arcs occupy [ArcOffset(v), ArcOffset(v+1))).
+func (g *Graph) ArcOffset(v NodeID) int32 { return g.arcOffsets[v] }
+
+// RevArcs returns the arc-reversal permutation over the global CSR arc
+// arrays: for arc index k describing u→v, RevArcs()[k] is the index of the
+// mirror arc v→u. The slice is owned by the graph and must not be modified.
+func (g *Graph) RevArcs() []int32 {
+	g.buildArcViews()
+	return g.views.rev
+}
+
+// ArcsByNeighborID returns, for each vertex range of the CSR arc arrays, the
+// vertex's local arc indices (0..Degree-1) permuted into ascending neighbor
+// NodeID order: entries [ArcOffset(v), ArcOffset(v+1)) hold the permutation
+// for v. The slice is owned by the graph and must not be modified.
+func (g *Graph) ArcsByNeighborID() []int32 {
+	g.buildArcViews()
+	return g.views.byID
+}
+
+func (g *Graph) buildArcViews() {
+	g.views.once.Do(func() {
+		numArcs := int(g.arcOffsets[g.NumNodes()])
+		rev := make([]int32, numArcs)
+		// Each undirected edge contributes exactly two arcs; pair them by
+		// EdgeID in one pass.
+		firstArc := make([]int32, len(g.edges))
+		for i := range firstArc {
+			firstArc[i] = -1
+		}
+		for k := 0; k < numArcs; k++ {
+			e := g.arcEdge[k]
+			if j := firstArc[e]; j == -1 {
+				firstArc[e] = int32(k)
+			} else {
+				rev[j], rev[k] = int32(k), j
+			}
+		}
+		byID := make([]int32, numArcs)
+		n := g.NumNodes()
+		for v := 0; v < n; v++ {
+			lo, hi := g.arcOffsets[v], g.arcOffsets[v+1]
+			seg := byID[lo:hi]
+			for j := range seg {
+				seg[j] = int32(j)
+			}
+			to := g.arcTo[lo:hi]
+			// Insertion sort by neighbor ID: vertex degrees are small and
+			// within-vertex arc order is already edge-insertion order, which
+			// generators tend to emit nearly sorted.
+			for i := 1; i < len(seg); i++ {
+				x := seg[i]
+				j := i - 1
+				for j >= 0 && to[seg[j]] > to[x] {
+					seg[j+1] = seg[j]
+					j--
+				}
+				seg[j+1] = x
+			}
+		}
+		g.views.rev = rev
+		g.views.byID = byID
+	})
+}

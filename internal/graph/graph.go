@@ -57,6 +57,8 @@ type Graph struct {
 	arcEdge    []int32
 	edges      []Edge
 	seen       map[[2]NodeID]EdgeID
+	// views holds lazily-built derived arc arrays (see arcviews.go).
+	views arcViews
 }
 
 func edgeKey(u, v NodeID) [2]NodeID {

@@ -281,3 +281,85 @@ func TestEccentricityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRevArcs checks the arc-reversal permutation on random graphs: for each
+// CSR arc u→v, the mirror arc must lie in v's range, lead back to u, carry
+// the same edge ID, and be an involution.
+func TestRevArcs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.MustAddEdge(i, rng.Intn(i), 1)
+		}
+		for tries := 0; tries < n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v, 1) //nolint:errcheck // duplicates fine
+			}
+		}
+		g := b.Finalize()
+		rev := g.RevArcs()
+		for u := 0; u < n; u++ {
+			to, edge := g.Arcs(u)
+			lo := g.ArcOffset(u)
+			for j := range to {
+				k := lo + int32(j)
+				r := rev[k]
+				v := NodeID(to[j])
+				if r < g.ArcOffset(v) || r >= g.ArcOffset(v+1) {
+					t.Fatalf("rev[%d] = %d outside range of vertex %d", k, r, v)
+				}
+				vTo, vEdge := g.Arcs(v)
+				rj := r - g.ArcOffset(v)
+				if NodeID(vTo[rj]) != u || vEdge[rj] != edge[j] {
+					t.Fatalf("rev[%d]: arc %d of %d is (%d,e%d), want (%d,e%d)",
+						k, rj, v, vTo[rj], vEdge[rj], u, edge[j])
+				}
+				if rev[r] != k {
+					t.Fatalf("rev not an involution at %d: rev[rev]=%d", k, rev[r])
+				}
+			}
+		}
+	}
+}
+
+// TestArcsByNeighborID checks the per-vertex neighbor-ID ordering is a
+// permutation of the local arc indices and strictly increasing in neighbor.
+func TestArcsByNeighborID(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		b := NewBuilder(n)
+		for i := 1; i < n; i++ {
+			b.MustAddEdge(i, rng.Intn(i), 1)
+		}
+		for tries := 0; tries < 2*n; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v, 1) //nolint:errcheck // duplicates fine
+			}
+		}
+		g := b.Finalize()
+		order := g.ArcsByNeighborID()
+		for v := 0; v < n; v++ {
+			to, _ := g.Arcs(v)
+			lo, deg := g.ArcOffset(v), g.Degree(v)
+			seen := make(map[int32]bool, deg)
+			last := NodeID(-1)
+			for j := 0; j < deg; j++ {
+				li := order[lo+int32(j)]
+				if li < 0 || int(li) >= deg || seen[li] {
+					t.Fatalf("vertex %d: order entry %d invalid or repeated", v, li)
+				}
+				seen[li] = true
+				nbr := NodeID(to[li])
+				if nbr <= last {
+					t.Fatalf("vertex %d: neighbor order not strictly increasing: %d after %d", v, nbr, last)
+				}
+				last = nbr
+			}
+		}
+	}
+}

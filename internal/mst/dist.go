@@ -117,14 +117,15 @@ func Phase(ctx *congest.Ctx, info *bfsproto.Info, cfg Config) (*NodeResult, erro
 
 	phase := 0
 	for ; ; phase++ {
-		// Fragment announce + global termination test.
+		// Fragment announce + global termination test. nbrFrag is indexed by
+		// arc (ctx.Neighbors() order).
 		nbrFrag, err := announceFrag(ctx, info, frag)
 		if err != nil {
 			return nil, err
 		}
 		anyOut := false
-		for _, a := range ctx.Neighbors() {
-			if nbrFrag[a.To] != frag {
+		for k := range ctx.Neighbors() {
+			if nbrFrag[k] != frag {
 				anyOut = true
 			}
 		}
@@ -141,12 +142,12 @@ func Phase(ctx *congest.Ctx, info *bfsproto.Info, cfg Config) (*NodeResult, erro
 
 		// Local minimum outgoing edge under the unique-MST order.
 		own := mstVal{valid: false, n: info.Count, m: 2 * info.Count * info.Count}
-		for _, a := range ctx.Neighbors() {
-			if nbrFrag[a.To] == frag {
+		for k, a := range ctx.Neighbors() {
+			if nbrFrag[k] == frag {
 				continue
 			}
 			cand := mstVal{valid: true, w: ctx.EdgeWeight(a.Edge), edge: a.Edge,
-				target: nbrFrag[a.To], n: own.n, m: own.m}
+				target: nbrFrag[k], n: own.n, m: own.m}
 			if !own.valid || lessVal(cand, own) {
 				own = cand
 			}
@@ -171,10 +172,10 @@ func Phase(ctx *congest.Ctx, info *bfsproto.Info, cfg Config) (*NodeResult, erro
 		// Mark round: the chosen edge's owner (its endpoint inside the tail
 		// fragment) tells the far endpoint.
 		if willMerge {
-			for _, a := range ctx.Neighbors() {
-				if a.Edge == best.edge && nbrFrag[a.To] == best.target {
+			for k, a := range ctx.Neighbors() {
+				if a.Edge == best.edge && nbrFrag[k] == best.target {
 					res.InMST[best.edge] = true
-					ctx.Send(a.To, markMsg{edge: best.edge, m: own.m})
+					ctx.SendArc(k, markMsg{edge: best.edge, m: own.m})
 				}
 			}
 		}
@@ -265,8 +266,9 @@ func agreeShortcut(ctx *congest.Ctx, info *bfsproto.Info, frag *int, own mstVal,
 
 // agreeNoShortcut floods the minimum outgoing edge inside each fragment
 // using only G[P_i] edges, in chunks with a global convergence check — the
-// baseline whose cost per phase is the fragment diameter.
-func agreeNoShortcut(ctx *congest.Ctx, info *bfsproto.Info, frag int, nbrFrag map[graph.NodeID]int, own mstVal) (mstVal, error) {
+// baseline whose cost per phase is the fragment diameter. nbrFrag is indexed
+// by arc.
+func agreeNoShortcut(ctx *congest.Ctx, info *bfsproto.Info, frag int, nbrFrag []int, own mstVal) (mstVal, error) {
 	const chunk = 16
 	cur := own
 	changedSinceSend := true
@@ -274,17 +276,22 @@ func agreeNoShortcut(ctx *congest.Ctx, info *bfsproto.Info, frag int, nbrFrag ma
 		changedInChunk := false
 		for r := 0; r < chunk; r++ {
 			if changedSinceSend {
-				for _, a := range ctx.Neighbors() {
-					if nbrFrag[a.To] == frag {
-						ctx.Send(a.To, cur)
+				for k := range ctx.Neighbors() {
+					if nbrFrag[k] == frag {
+						ctx.SendArc(k, cur)
 					}
 				}
 				changedSinceSend = false
 			}
-			for _, m := range ctx.StepRound() {
-				mv, ok := m.Payload.(mstVal)
+			ctx.Step()
+			for k := range ctx.Neighbors() {
+				p, ok := ctx.InboxArc(k)
 				if !ok {
-					return mstVal{}, fmt.Errorf("mst: unexpected payload %T in flood", m.Payload)
+					continue
+				}
+				mv, ok := p.(mstVal)
+				if !ok {
+					return mstVal{}, fmt.Errorf("mst: unexpected payload %T in flood", p)
 				}
 				if lessVal(mv, cur) {
 					cur = mv
@@ -303,15 +310,23 @@ func agreeNoShortcut(ctx *congest.Ctx, info *bfsproto.Info, frag int, nbrFrag ma
 	}
 }
 
-func announceFrag(ctx *congest.Ctx, info *bfsproto.Info, frag int) (map[graph.NodeID]int, error) {
+// announceFrag exchanges fragment IDs with every neighbor (one round) and
+// returns them indexed by arc. Every live node announces, so each arc must
+// carry exactly one fragAnnounce.
+func announceFrag(ctx *congest.Ctx, info *bfsproto.Info, frag int) ([]int, error) {
 	ctx.SendAll(fragAnnounce{frag: frag, n: info.Count})
-	out := make(map[graph.NodeID]int, ctx.Degree())
-	for _, m := range ctx.StepRound() {
-		fa, ok := m.Payload.(fragAnnounce)
+	ctx.Step()
+	out := make([]int, ctx.Degree())
+	for k, a := range ctx.Neighbors() {
+		p, ok := ctx.InboxArc(k)
 		if !ok {
-			return nil, fmt.Errorf("mst: unexpected payload %T in announce", m.Payload)
+			return nil, fmt.Errorf("mst: node %d missing fragment announce from neighbor %d", ctx.ID(), a.To)
 		}
-		out[m.From] = fa.frag
+		fa, ok := p.(fragAnnounce)
+		if !ok {
+			return nil, fmt.Errorf("mst: unexpected payload %T in announce", p)
+		}
+		out[k] = fa.frag
 	}
 	return out, nil
 }

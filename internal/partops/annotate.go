@@ -69,7 +69,7 @@ func (m *Membership) Annotate(ctx *congest.Ctx) error {
 				}
 			}
 			if best != -1 {
-				ctx.Send(ch, annMsg{part: best, rootDepth: m.RootDepth[best], rootID: m.RootID[best], n: m.Info.Count})
+				ctx.SendArc(m.childArc[ch], annMsg{part: best, rootDepth: m.RootDepth[best], rootID: m.RootID[best], n: m.Info.Count})
 				pending[ch] = removeInt(parts, best)
 				if len(pending[ch]) == 0 {
 					delete(pending, ch)

@@ -64,6 +64,10 @@ func (m exchMsg) Bits() int { return 1 + m.val.Bits() }
 // scheduled by (rootDepth, part) priority, so the pass completes within the
 // CastBudget; Gather errors if it does not. Returns this node's results for
 // the blocks it roots. All nodes enter and leave aligned.
+//
+// Gather and Scatter read only the tree arcs their traffic can arrive on
+// (InboxArc fast path); stray traffic on other arcs during the cast window
+// is ignored rather than reported, relying on the phase-alignment contract.
 func (m *Membership) Gather(ctx *congest.Ctx, own func(part int) Value, combine func(a, b Value) Value, extraRounds int) (map[int]Value, error) {
 	acc := make(map[int]Value, len(m.Parts))
 	await := make(map[int]int, len(m.Parts))
@@ -74,15 +78,22 @@ func (m *Membership) Gather(ctx *congest.Ctx, own func(part int) Value, combine 
 		await[i] = len(m.ChildrenIn[i])
 	}
 	budget := m.CastBudget() + extraRounds
-	var inbox []congest.Message
 	for r := 0; r <= budget; r++ {
-		for _, msg := range inbox {
-			cm, ok := msg.Payload.(castMsg)
-			if !ok {
-				return nil, fmt.Errorf("partops: unexpected payload %T in gather", msg.Payload)
+		if r > 0 {
+			// Gather traffic climbs tree edges only: read the child arcs
+			// directly instead of materializing an inbox.
+			for _, ka := range m.Info.ChildArcs {
+				p, ok := ctx.InboxArc(ka)
+				if !ok {
+					continue
+				}
+				cm, ok := p.(castMsg)
+				if !ok {
+					return nil, fmt.Errorf("partops: unexpected payload %T in gather", p)
+				}
+				acc[cm.part] = combine(acc[cm.part], cm.val)
+				await[cm.part]--
 			}
-			acc[cm.part] = combine(acc[cm.part], cm.val)
-			await[cm.part]--
 		}
 		if r == budget {
 			break
@@ -98,10 +109,10 @@ func (m *Membership) Gather(ctx *congest.Ctx, own func(part int) Value, combine 
 			}
 		}
 		if best != -1 {
-			ctx.Send(m.Info.Parent, castMsg{part: best, rootDepth: m.RootDepth[best], n: m.Info.Count, val: acc[best]})
+			ctx.SendArc(m.Info.ParentArc, castMsg{part: best, rootDepth: m.RootDepth[best], n: m.Info.Count, val: acc[best]})
 			unsent = removeInt(unsent, best)
 		}
-		inbox = ctx.StepRound()
+		ctx.Step()
 	}
 	results := make(map[int]Value)
 	for _, i := range m.Parts {
@@ -138,15 +149,18 @@ func (m *Membership) Scatter(ctx *congest.Ctx, atRoot func(part int) Value, extr
 		}
 	}
 	budget := m.CastBudget() + extraRounds
-	var inbox []congest.Message
 	for r := 0; r <= budget; r++ {
-		for _, msg := range inbox {
-			cm, ok := msg.Payload.(castMsg)
-			if !ok {
-				return nil, fmt.Errorf("partops: unexpected payload %T in scatter", msg.Payload)
+		if r > 0 && m.Info.ParentArc != -1 {
+			// Scatter traffic descends tree edges: only the parent arc can
+			// carry a message to this node.
+			if p, ok := ctx.InboxArc(m.Info.ParentArc); ok {
+				cm, ok := p.(castMsg)
+				if !ok {
+					return nil, fmt.Errorf("partops: unexpected payload %T in scatter", p)
+				}
+				got[cm.part] = cm.val
+				enqueue(cm.part)
 			}
-			got[cm.part] = cm.val
-			enqueue(cm.part)
 		}
 		if r == budget {
 			break
@@ -159,7 +173,7 @@ func (m *Membership) Scatter(ctx *congest.Ctx, atRoot func(part int) Value, extr
 				}
 			}
 			if best != -1 {
-				ctx.Send(ch, castMsg{part: best, rootDepth: m.RootDepth[best], n: m.Info.Count, val: got[best]})
+				ctx.SendArc(m.childArc[ch], castMsg{part: best, rootDepth: m.RootDepth[best], n: m.Info.Count, val: got[best]})
 				if rest := removeUnsorted(parts, best); len(rest) > 0 {
 					pending[ch] = rest
 				} else {
@@ -167,7 +181,7 @@ func (m *Membership) Scatter(ctx *congest.Ctx, atRoot func(part int) Value, extr
 				}
 			}
 		}
-		inbox = ctx.StepRound()
+		ctx.Step()
 	}
 	if len(pending) > 0 {
 		return nil, fmt.Errorf("partops: node %d: scatter unfinished (budget %d)", ctx.ID(), budget)
@@ -186,19 +200,24 @@ func (m *Membership) Scatter(ctx *congest.Ctx, atRoot func(part int) Value, extr
 // keyed by sender. All nodes enter and leave aligned (exactly one round).
 func (m *Membership) Exchange(ctx *congest.Ctx, val Value) (map[graph.NodeID]Value, error) {
 	if m.OwnPart != partition.None && val != nil {
-		for _, a := range ctx.Neighbors() {
-			if m.NeighborPart[a.To] == m.OwnPart {
-				ctx.Send(a.To, exchMsg{n: m.Info.Count, val: val})
+		for k := range ctx.Neighbors() {
+			if m.nbrPart[k] == m.OwnPart {
+				ctx.SendArc(k, exchMsg{n: m.Info.Count, val: val})
 			}
 		}
 	}
 	got := make(map[graph.NodeID]Value)
-	for _, msg := range ctx.StepRound() {
-		em, ok := msg.Payload.(exchMsg)
+	ctx.Step()
+	for k, a := range ctx.Neighbors() {
+		p, ok := ctx.InboxArc(k)
 		if !ok {
-			return nil, fmt.Errorf("partops: unexpected payload %T in exchange", msg.Payload)
+			continue
 		}
-		got[msg.From] = em.val
+		em, ok := p.(exchMsg)
+		if !ok {
+			return nil, fmt.Errorf("partops: unexpected payload %T in exchange", p)
+		}
+		got[a.To] = em.val
 	}
 	return got, nil
 }

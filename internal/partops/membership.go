@@ -49,6 +49,12 @@ type Membership struct {
 	// CMax is the global maximum number of parts on any tree edge — the
 	// shortcut congestion bound used to size Lemma 2 round budgets.
 	CMax int
+
+	// nbrPart mirrors NeighborPart indexed by arc (ctx.Neighbors() order),
+	// and childArc caches each tree child's arc index, so the cast loops use
+	// the engine's SendArc/InboxArc fast paths without map lookups.
+	nbrPart  []int
+	childArc map[graph.NodeID]int
 }
 
 // partAnnounce is the one-round "my part is i" message.
@@ -70,6 +76,11 @@ func BuildMembership(ctx *congest.Ctx, ns *coredist.NodeShortcut, assign coredis
 		RootDepth:    make(map[int]int),
 		RootID:       make(map[int]graph.NodeID),
 		NeighborPart: make(map[graph.NodeID]int, ctx.Degree()),
+		nbrPart:      make([]int, ctx.Degree()),
+		childArc:     make(map[graph.NodeID]int, len(info.Children)),
+	}
+	for i, ch := range info.Children {
+		m.childArc[ch] = info.ChildArcs[i]
 	}
 	add := func(i int) {
 		k := sort.SearchInts(m.Parts, i)
@@ -107,14 +118,20 @@ func BuildMembership(ctx *congest.Ctx, ns *coredist.NodeShortcut, assign coredis
 		add(m.OwnPart)
 	}
 
-	// One-round part announce.
+	// One-round part announce; every node sends, so every arc carries one.
 	ctx.SendAll(partAnnounce{part: m.OwnPart, n: info.Count})
-	for _, msg := range ctx.StepRound() {
-		pa, ok := msg.Payload.(partAnnounce)
+	ctx.Step()
+	for k, a := range ctx.Neighbors() {
+		p, ok := ctx.InboxArc(k)
 		if !ok {
-			return nil, fmt.Errorf("partops: unexpected payload %T in announce", msg.Payload)
+			return nil, fmt.Errorf("partops: node %d missing part announce from neighbor %d", ctx.ID(), a.To)
 		}
-		m.NeighborPart[msg.From] = pa.part
+		pa, ok := p.(partAnnounce)
+		if !ok {
+			return nil, fmt.Errorf("partops: unexpected payload %T in announce", p)
+		}
+		m.NeighborPart[a.To] = pa.part
+		m.nbrPart[k] = pa.part
 	}
 
 	// Global congestion bound for Lemma 2 budgets.
