@@ -1,0 +1,144 @@
+// Command benchdiff is the CI benchmark-regression gate: it compares a
+// fresh engine-benchmark report (cmd/experiments -bench-json) against the
+// committed baseline BENCH_engine.json and fails on a >30% ns/op regression
+// or any steady-state allocation increase (beyond a small relative
+// measurement tolerance — see -alloc-frac) on a matching (scenario, engine)
+// measurement.
+//
+//	go run ./cmd/experiments -short -bench-json /tmp/bench_new.json
+//	go run ./cmd/benchdiff -baseline BENCH_engine.json -candidate /tmp/bench_new.json
+//
+// Measurements present only in the candidate (a new scenario without a
+// recorded baseline) or only in the baseline (heavy scenarios skipped by a
+// short run) are reported but do not fail the gate; the committed baseline
+// is regenerated with a full `-bench-json BENCH_engine.json` run whenever
+// the scenario suite changes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lcshortcut/internal/engbench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		baselinePath  = flag.String("baseline", "BENCH_engine.json", "committed baseline report `path`")
+		candidatePath = flag.String("candidate", "", "fresh report `path` to gate (required)")
+		maxRegress    = flag.Float64("max-regress", 0.30, "maximum tolerated ns/op regression (fraction over baseline)")
+		allocSlack    = flag.Int64("alloc-slack", 0, "absolute tolerated allocs/op increase")
+		allocFrac     = flag.Float64("alloc-frac", 0.02, "relative allocs/op measurement tolerance (the legacy channel engine's ~1M allocs/op carry ~1% GC-timing noise; a real steady-state regression adds at least one alloc per round, far above this)")
+	)
+	flag.Parse()
+	if *candidatePath == "" {
+		return fmt.Errorf("-candidate is required")
+	}
+	base, err := readReport(*baselinePath)
+	if err != nil {
+		return err
+	}
+	cand, err := readReport(*candidatePath)
+	if err != nil {
+		return err
+	}
+	// Absolute ns/op only transfers between equal environments; when the
+	// candidate was measured on different hardware or a different Go, say so
+	// loudly — a failing gate on a mismatched host means "re-record the
+	// baseline in the gating environment", not necessarily "regression".
+	if base.GoMaxProcs != cand.GoMaxProcs || base.GoVersion != cand.GoVersion {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: WARNING: baseline recorded on %s gomaxprocs=%d, candidate on %s gomaxprocs=%d — absolute ns/op comparisons across environments are unreliable; regenerate the baseline with `go run ./cmd/experiments -bench-json %s` on this host if the gate misfires\n",
+			base.GoVersion, base.GoMaxProcs, cand.GoVersion, cand.GoMaxProcs, *baselinePath)
+	}
+	type key struct{ scenario, engine string }
+	baseline := make(map[key]engbench.Measurement, len(base.Results))
+	for _, m := range base.Results {
+		baseline[key{m.Scenario, m.Engine}] = m
+	}
+	var failures []string
+	matched := 0
+	fmt.Printf("%-28s %-10s %14s %14s %8s %10s\n", "SCENARIO", "ENGINE", "BASE ns/op", "CAND ns/op", "Δ%", "allocs")
+	for _, m := range cand.Results {
+		b, ok := baseline[key{m.Scenario, m.Engine}]
+		if !ok {
+			fmt.Printf("%-28s %-10s %14s %14d %8s %10d  (no baseline — add one with a full -bench-json run)\n",
+				m.Scenario, m.Engine, "-", m.NsPerOp, "-", m.AllocsPerOp)
+			continue
+		}
+		delete(baseline, key{m.Scenario, m.Engine})
+		matched++
+		delta := 100 * (float64(m.NsPerOp)/float64(b.NsPerOp) - 1)
+		verdict := ""
+		if float64(m.NsPerOp) > float64(b.NsPerOp)*(1+*maxRegress) {
+			verdict = fmt.Sprintf("ns/op regressed %.1f%% (> %.0f%% tolerated)", delta, 100**maxRegress)
+		}
+		allocTol := *allocSlack
+		if rel := int64(float64(b.AllocsPerOp) * *allocFrac); rel > allocTol {
+			allocTol = rel
+		}
+		if m.AllocsPerOp > b.AllocsPerOp+allocTol {
+			if verdict != "" {
+				verdict += "; "
+			}
+			verdict += fmt.Sprintf("allocs/op %d -> %d (steady-state alloc increase)", b.AllocsPerOp, m.AllocsPerOp)
+		}
+		mark := ""
+		if verdict != "" {
+			failures = append(failures, fmt.Sprintf("%s/%s: %s", m.Scenario, m.Engine, verdict))
+			mark = "  FAIL"
+		}
+		fmt.Printf("%-28s %-10s %14d %14d %+7.1f%% %5d->%-4d%s\n",
+			m.Scenario, m.Engine, b.NsPerOp, m.NsPerOp, delta, b.AllocsPerOp, m.AllocsPerOp, mark)
+	}
+	var unmeasured []key
+	for k := range baseline {
+		unmeasured = append(unmeasured, k)
+	}
+	sort.Slice(unmeasured, func(i, j int) bool {
+		if unmeasured[i].scenario != unmeasured[j].scenario {
+			return unmeasured[i].scenario < unmeasured[j].scenario
+		}
+		return unmeasured[i].engine < unmeasured[j].engine
+	})
+	for _, k := range unmeasured {
+		fmt.Printf("%-28s %-10s  (baseline only — not measured by this run)\n", k.scenario, k.engine)
+	}
+	if matched == 0 {
+		return fmt.Errorf("no (scenario, engine) measurement matched the baseline — suite renamed without regenerating %s?", *baselinePath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchdiff: FAIL %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) against %s", len(failures), *baselinePath)
+	}
+	fmt.Printf("benchdiff: %d measurements within budget (ns/op +%.0f%%, allocs +max(%d, %.0f%%))\n", matched, 100**maxRegress, *allocSlack, 100**allocFrac)
+	return nil
+}
+
+func readReport(path string) (*engbench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep engbench.Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s contains no measurements", path)
+	}
+	return &rep, nil
+}

@@ -6,6 +6,7 @@
 //	experiments                  # run everything, print tables
 //	experiments E4 E7 F1         # run a subset
 //	experiments -list            # show the registry (no runs)
+//	experiments -list-scenarios  # show the graph-scenario registry feeding it
 //	experiments -json            # machine-readable results on stdout
 //	experiments -bench           # benchstat-compatible lines on stdout
 //	experiments -short -workers 4   # trimmed grids on 4 workers (CI smoke)
@@ -24,6 +25,7 @@ import (
 
 	"lcshortcut/internal/engbench"
 	"lcshortcut/internal/experiments"
+	"lcshortcut/internal/scenario"
 )
 
 func main() {
@@ -37,6 +39,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		list      = fs.Bool("list", false, "list registered experiments and exit")
+		listScen  = fs.Bool("list-scenarios", false, "list the scenario registry feeding the experiments and benchmarks, then exit")
 		jsonOut   = fs.Bool("json", false, "emit results as JSON")
 		benchOut  = fs.Bool("bench", false, "emit results as Go benchmark-format lines")
 		short     = fs.Bool("short", false, "run trimmed smoke-sized parameter grids")
@@ -54,6 +57,15 @@ func run(args []string, out *os.File) error {
 		}
 		// The FlagSet already reported the problem and usage on stderr.
 		return fmt.Errorf("invalid arguments")
+	}
+	if *listScen {
+		if len(fs.Args()) > 0 {
+			return fmt.Errorf("-list-scenarios lists the whole registry; drop the arguments %v", fs.Args())
+		}
+		for _, s := range scenario.All() {
+			fmt.Fprintf(out, "%-12s  %-30s  %s\n", s.Name, strings.Join(s.Tags, ","), s.Description)
+		}
+		return nil
 	}
 	if *benchJSON != "" {
 		if len(fs.Args()) > 0 {
@@ -124,13 +136,14 @@ func run(args []string, out *os.File) error {
 
 // writeBenchJSON runs the engine microbenchmark suite (internal/engbench) on
 // both engines and records the measurements — the repository's engine perf
-// trajectory — at path. Short mode runs each light scenario once per engine
-// and skips the heavy ones (CI smoke); otherwise each measurement lasts at
-// least a second.
+// trajectory — at path. Short mode runs each light scenario twice per
+// engine and skips the heavy ones (the CI bench gate; two iterations keep
+// single-run scheduler noise out of the regression comparison); otherwise
+// each measurement lasts at least a second.
 func writeBenchJSON(path string, short bool) error {
 	minIters, minDur := 3, time.Second
 	if short {
-		minIters, minDur = 1, 0
+		minIters, minDur = 2, 0
 	}
 	rep, err := engbench.Measure(minIters, minDur, short)
 	if err != nil {

@@ -1,6 +1,10 @@
-// Command graphgen generates a graph from the same family specs as
-// shortcutctl and prints either summary statistics or a Graphviz DOT dump.
+// Command graphgen generates a graph — either from the central scenario
+// registry (-family) or from the legacy free-form spec (-graph) — and prints
+// summary statistics or a Graphviz DOT dump.
 //
+//	graphgen -list-families
+//	graphgen -family surface -n 1024
+//	graphgen -family ba -n 4096 -seed 3 -dot > ba.dot
 //	graphgen -graph torus:8x8
 //	graphgen -graph lowerbound:4x8 -dot > lb.dot
 package main
@@ -9,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lcshortcut/internal/gen"
 	"lcshortcut/internal/graph"
+	"lcshortcut/internal/scenario"
 	"lcshortcut/internal/tree"
 )
 
@@ -24,15 +30,34 @@ func main() {
 
 func run() error {
 	var (
-		spec    = flag.String("graph", "grid:8x8", "graph family spec (see shortcutctl -help)")
+		family  = flag.String("family", "", "scenario-registry family name (see -list-families); overrides -graph")
+		n       = flag.Int("n", 1024, "requested size for -family (node count; families round to their nearest realizable size)")
+		list    = flag.Bool("list-families", false, "list the scenario registry (name, tags, sizes, paper relevance) and exit")
+		spec    = flag.String("graph", "grid:8x8", "legacy graph family spec (see shortcutctl -help)")
 		dot     = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
 		weights = flag.Int64("weights", 0, "assign random weights in [1,W] (0 = unit)")
-		seed    = flag.Int64("seed", 1, "weight seed")
+		seed    = flag.Int64("seed", 1, "build seed for -family and weight seed")
 	)
 	flag.Parse()
-	g, err := build(*spec)
-	if err != nil {
-		return err
+	if *list {
+		listFamilies()
+		return nil
+	}
+	var g *graph.Graph
+	var err error
+	label := *spec
+	if *family != "" {
+		s, ok := scenario.Get(*family)
+		if !ok {
+			return fmt.Errorf("unknown family %q (run -list-families; have %s)", *family, strings.Join(scenario.Names(), ", "))
+		}
+		g = s.Build(*n, *seed)
+		label = fmt.Sprintf("%s (n=%d, seed=%d)", s.Name, *n, *seed)
+	} else {
+		g, err = build(*spec)
+		if err != nil {
+			return err
+		}
 	}
 	if *weights > 0 {
 		gen.WithRandomWeights(g, *seed, *weights)
@@ -42,7 +67,7 @@ func run() error {
 		return nil
 	}
 	tr := tree.BFSTree(g, 0)
-	fmt.Printf("spec:       %s\n", *spec)
+	fmt.Printf("spec:       %s\n", label)
 	fmt.Printf("nodes:      %d\n", g.NumNodes())
 	fmt.Printf("edges:      %d\n", g.NumEdges())
 	fmt.Printf("connected:  %v\n", g.Connected())
@@ -60,6 +85,18 @@ func run() error {
 	return nil
 }
 
+// listFamilies prints the scenario registry as an aligned table.
+func listFamilies() {
+	fmt.Printf("%-12s %-32s %-14s %s\n", "FAMILY", "TAGS", "SIZES", "PAPER RELEVANCE")
+	for _, s := range scenario.All() {
+		sizes := make([]string, len(s.Sizes))
+		for i, n := range s.Sizes {
+			sizes[i] = fmt.Sprint(n)
+		}
+		fmt.Printf("%-12s %-32s %-14s %s\n", s.Name, strings.Join(s.Tags, ","), strings.Join(sizes, ","), s.Ref)
+	}
+}
+
 func build(spec string) (*graph.Graph, error) {
 	// Reuse shortcutctl's parser conventions with a tiny local copy to keep
 	// the binaries independent.
@@ -73,6 +110,9 @@ func build(spec string) (*graph.Graph, error) {
 	if n, _ := fmt.Sscanf(spec, "handled:%dx%dx%d", &w, &h, &x); n == 3 {
 		return gen.HandledGrid(w, h, x), nil
 	}
+	if n, _ := fmt.Sscanf(spec, "surface:%dx%dx%d", &w, &h, &x); n == 3 {
+		return gen.SurfaceMesh(w, h, x, 2), nil
+	}
 	if n, _ := fmt.Sscanf(spec, "lowerbound:%dx%d", &w, &h); n == 2 {
 		return gen.LowerBound(w, h), nil
 	}
@@ -84,6 +124,12 @@ func build(spec string) (*graph.Graph, error) {
 	}
 	if n, _ := fmt.Sscanf(spec, "pathpower:%d,%d", &w, &x); n == 2 {
 		return gen.PathPower(w, x), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "hypercube:%d", &w); n == 1 {
+		return gen.Hypercube(w), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "caveman:%dx%d", &w, &h); n == 2 {
+		return gen.Caveman(w, h), nil
 	}
 	var p float64
 	if n, _ := fmt.Sscanf(spec, "er:%d,%f", &w, &p); n == 2 {

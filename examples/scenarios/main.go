@@ -1,0 +1,36 @@
+// Scenario-registry tour: walk every registered graph family (the single
+// source of workload graphs for the experiments, the engine benchmarks, and
+// cmd/graphgen), build each at its smallest default size, and print the
+// structural profile that decides which of the paper's bounds applies —
+// families with a declared genus bound are in Theorem 1's O(g·D) regime,
+// the rest (expanders, scale-free hubs, communities) are the beyond-regime
+// workloads the S1/S2 experiments chart.
+//
+//	go run ./examples/scenarios
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"lcshortcut/internal/scenario"
+)
+
+func main() {
+	fmt.Println("family       nodes  edges  avgdeg  diam>=  genus<=  tags")
+	for _, s := range scenario.All() {
+		n := s.Sizes[0]
+		g := s.Build(n, 1)
+		genus := "-"
+		if s.Invariants.Genus != nil {
+			genus = fmt.Sprint(s.Invariants.Genus(n))
+		}
+		fmt.Printf("%-12s %-6d %-6d %-7.2f %-7d %-8s %s\n",
+			s.Name, g.NumNodes(), g.NumEdges(),
+			2*float64(g.NumEdges())/float64(g.NumNodes()),
+			g.ApproxDiameter(0), genus, strings.Join(s.Tags, ","))
+	}
+	fmt.Println("\nevery family above is reachable as:")
+	fmt.Println("  go run ./cmd/graphgen -family <name> -n <size> [-seed S] [-dot]")
+	fmt.Println("and swept by the S1/S2 experiments and the engbench broadcast suite.")
+}

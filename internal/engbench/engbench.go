@@ -2,18 +2,24 @@
 // self-contained harness for measuring them on both engines. The scenarios
 // are shared by the repository's `go test -bench BenchmarkCongest` suite and
 // by `cmd/experiments -bench-json`, which records the measurements in
-// BENCH_engine.json so the engine's perf trajectory is tracked in-repo.
+// BENCH_engine.json so the engine's perf trajectory is tracked in-repo;
+// cmd/benchdiff compares a fresh run against that committed baseline in CI.
 //
-// Scenario selection:
+// Workload graphs come from the central scenario registry
+// (internal/scenario) — the suite below names (scenario, size, protocol)
+// triples instead of hand-rolling generator calls, so registering a family
+// there is all it takes to make it benchmarkable here. Protocol selection:
 //
 //   - broadcast flood — every node broadcasts to every neighbor every round:
-//     maximum traffic, stressing the send fast path and inbox assembly.
+//     maximum traffic, stressing the send fast path and inbox assembly;
+//     run across every graph family (meshes, expanders, scale-free hubs,
+//     communities, surfaces) since degree profile dominates this cost.
 //   - sparse token ring — one token circulates a large ring: almost no
 //     traffic, isolating per-round engine overhead (the channel engine paid
 //     an O(n) inbox-clear sweep and a sort per barrier here regardless of
 //     traffic; the arena engine pays O(degree) per stepping node).
 //   - BFS opening — the real bfsproto phase every composite protocol starts
-//     with, on the two largest generator families (grid256x256, er50000).
+//     with, on the two largest families (grid at 65536, er-sparse at 50000).
 //
 // Both microbenchmark protocols allocate nothing per round themselves
 // (zero-size payloads box without allocating, StepRound returns a reused
@@ -21,14 +27,15 @@
 package engbench
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"lcshortcut/internal/bfsproto"
 	"lcshortcut/internal/congest"
-	"lcshortcut/internal/gen"
 	"lcshortcut/internal/graph"
+	"lcshortcut/internal/scenario"
 )
 
 // beat is the zero-size microbenchmark payload: converting it to the Payload
@@ -39,13 +46,16 @@ type beat struct{}
 // Bits reports a 1-bit signal.
 func (beat) Bits() int { return 1 }
 
-// Scenario is one engine workload: a graph family plus a protocol run.
+// Scenario is one engine workload: a registry graph family at a fixed size
+// plus a protocol run.
 type Scenario struct {
-	// Name identifies the scenario in benchmark output and BENCH_engine.json.
+	// Name identifies the workload in benchmark output and
+	// BENCH_engine.json, derived as <protocol>/<family>-n<nodes> from the
+	// registry scenario it wraps.
 	Name string
-	// Heavy marks scenarios whose single run takes minutes (bfsopen on
-	// grid256x256 simulates ~100M node-rounds): benchmark smoke runs skip
-	// them and Measure times exactly one iteration.
+	// Heavy marks scenarios whose single run takes minutes (bfsopen on the
+	// 65536-node grid simulates ~100M node-rounds): benchmark smoke runs
+	// skip them and Measure times exactly one iteration.
 	Heavy bool
 	// Graph returns the scenario's graph, built once and cached.
 	Graph func() *graph.Graph
@@ -95,56 +105,71 @@ func cached(build func() *graph.Graph) func() *graph.Graph {
 	}
 }
 
-// Scenarios returns the engine benchmark suite.
-func Scenarios() []Scenario {
-	const (
-		ringN      = 1024
-		floodGrid  = 48 // 48x48 grid, ~2.3k nodes, ~4.5k edges
-		floodSteps = 96
-	)
-	return []Scenario{
-		{
-			Name:  "broadcast/grid48x48",
-			Graph: cached(func() *graph.Graph { return gen.Grid(floodGrid, floodGrid) }),
-			Run: func(g *graph.Graph) (congest.Stats, error) {
-				return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1})
-			},
-		},
-		{
-			// Average degree ~16: traffic-dominated, so the channel engine's
-			// per-message inbox appends and per-round sweep dwarf the shared
-			// barrier cost.
-			Name:  "broadcast/er2048d16",
-			Graph: cached(func() *graph.Graph { return gen.ErdosRenyi(2048, 16.0/2047, 5) }),
-			Run: func(g *graph.Graph) (congest.Stats, error) {
-				return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1})
-			},
-		},
-		{
-			Name:  "tokenring/n1024",
-			Graph: cached(func() *graph.Graph { return gen.Ring(ringN) }),
-			Run: func(g *graph.Graph) (congest.Stats, error) {
-				return congest.Run(g, TokenRingProc(ringN, ringN), congest.Options{Seed: 1})
-			},
-		},
-		{
-			Name:  "bfsopen/grid256x256",
-			Heavy: true,
-			Graph: cached(func() *graph.Graph { return gen.Grid(256, 256) }),
-			Run: func(g *graph.Graph) (congest.Stats, error) {
-				_, stats, err := bfsproto.Run(g, 0, 7, congest.Options{})
-				return stats, err
-			},
-		},
-		{
-			Name:  "bfsopen/er50000",
-			Graph: cached(func() *graph.Graph { return gen.ErdosRenyi(50000, 0.0001, 1) }),
-			Run: func(g *graph.Graph) (congest.Stats, error) {
-				_, stats, err := bfsproto.Run(g, 0, 7, congest.Options{})
-				return stats, err
-			},
+// graphOf resolves a registry scenario at a fixed requested size into a
+// cached graph constructor plus the derived workload name prefix.
+func graphOf(family string, n int, seed int64) (string, func() *graph.Graph) {
+	sc := scenario.MustGet(family)
+	name := fmt.Sprintf("%s-n%d", family, sc.NumNodes(n))
+	return name, cached(func() *graph.Graph { return sc.Build(n, seed) })
+}
+
+// broadcastOn builds a maximum-traffic flood workload on a registry family.
+func broadcastOn(family string, n int, seed int64) Scenario {
+	const floodSteps = 96
+	name, g := graphOf(family, n, seed)
+	return Scenario{
+		Name:  "broadcast/" + name,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1})
 		},
 	}
+}
+
+// bfsOpenOn builds a BFS-opening workload on a registry family.
+func bfsOpenOn(family string, n int, seed int64, heavy bool) Scenario {
+	name, g := graphOf(family, n, seed)
+	return Scenario{
+		Name:  "bfsopen/" + name,
+		Heavy: heavy,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			_, stats, err := bfsproto.Run(g, 0, 7, congest.Options{})
+			return stats, err
+		},
+	}
+}
+
+// Scenarios returns the engine benchmark suite: every graph family at
+// ~2k nodes under the broadcast flood (all six new families included — the
+// degree profile is what differentiates them), the sparse token ring, and
+// the two large BFS openings (grid-65536 is the Heavy minutes-long one;
+// er-sparse-50000 takes seconds and stays in the short/gate suite).
+func Scenarios() []Scenario {
+	const (
+		ringN  = 1024
+		floodN = 2048
+	)
+	suite := []Scenario{}
+	// Broadcast flood across the family spectrum: mesh (grid), expander
+	// (er-dense, regular), scale-free hubs (ba), geometric locality,
+	// hypercube, community (caveman), and the genus-3 surface mesh.
+	for _, family := range []string{"grid", "er-dense", "ba", "geometric", "regular", "hypercube", "caveman", "surface"} {
+		suite = append(suite, broadcastOn(family, floodN, 5))
+	}
+	ringName, ringGraph := graphOf("ring", ringN, 1)
+	suite = append(suite, Scenario{
+		Name:  "tokenring/" + ringName,
+		Graph: ringGraph,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			return congest.Run(g, TokenRingProc(g.NumNodes(), g.NumNodes()), congest.Options{Seed: 1})
+		},
+	})
+	suite = append(suite,
+		bfsOpenOn("grid", 65536, 1, true),
+		bfsOpenOn("er-sparse", 50000, 1, false),
+	)
+	return suite
 }
 
 // EngineName renders an engine for reports.
@@ -175,10 +200,17 @@ type Report struct {
 	Speedup    map[string]float64 `json:"speedup_event_loop_vs_channel"`
 }
 
-// Measure runs every scenario on both engines and assembles the report.
-// minIters and minDuration bound each measurement (whichever is hit last);
-// smoke runs pass (1, 0) and skipHeavy to drop the minutes-long scenarios.
+// Measure runs every suite scenario on both engines and assembles the
+// report. minIters and minDuration bound each measurement (whichever is hit
+// last); smoke runs pass (1, 0) and skipHeavy to drop the minutes-long
+// scenarios.
 func Measure(minIters int, minDuration time.Duration, skipHeavy bool) (*Report, error) {
+	return MeasureSuite(Scenarios(), minIters, minDuration, skipHeavy)
+}
+
+// MeasureSuite is Measure over an explicit scenario list (tests measure a
+// reduced suite).
+func MeasureSuite(suite []Scenario, minIters int, minDuration time.Duration, skipHeavy bool) (*Report, error) {
 	if minIters < 1 {
 		minIters = 1
 	}
@@ -188,7 +220,7 @@ func Measure(minIters int, minDuration time.Duration, skipHeavy bool) (*Report, 
 		Speedup:    make(map[string]float64),
 	}
 	perScenario := make(map[string]map[string]int64)
-	for _, sc := range Scenarios() {
+	for _, sc := range suite {
 		if sc.Heavy && skipHeavy {
 			continue
 		}

@@ -1,0 +1,87 @@
+package engbench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/scenario"
+)
+
+// TestSuiteShape pins the registry-driven suite contract: unique derived
+// names, every light scenario buildable, and every new generator family
+// present under the broadcast protocol.
+func TestSuiteShape(t *testing.T) {
+	suite := Scenarios()
+	seen := map[string]bool{}
+	families := map[string]bool{}
+	for _, sc := range suite {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		proto, rest, ok := strings.Cut(sc.Name, "/")
+		if !ok {
+			t.Errorf("scenario name %q not of the form proto/family-nN", sc.Name)
+			continue
+		}
+		family, _, ok := strings.Cut(rest, "-n")
+		if !ok {
+			t.Errorf("scenario name %q lacks the -n<nodes> suffix", sc.Name)
+			continue
+		}
+		if _, ok := scenario.Get(family); !ok {
+			t.Errorf("scenario %q names unregistered family %q", sc.Name, family)
+		}
+		if proto == "broadcast" {
+			families[family] = true
+		}
+		// Build-verify the small graphs only; the tens-of-thousands-node
+		// bfsopen instances take seconds to construct and are exercised by
+		// the benchmark runs themselves.
+		var nodes int
+		if _, err := fmt.Sscanf(rest, family+"-n%d", &nodes); err != nil {
+			t.Errorf("scenario %q: cannot parse node count: %v", sc.Name, err)
+		} else if nodes <= 4096 {
+			if g := sc.Graph(); g == nil || g.NumNodes() != nodes || !g.Connected() {
+				t.Errorf("scenario %q graph missing, mis-sized or disconnected", sc.Name)
+			}
+		}
+	}
+	for _, want := range []string{"ba", "geometric", "regular", "hypercube", "caveman", "surface"} {
+		if !families[want] {
+			t.Errorf("new family %q has no broadcast engbench scenario", want)
+		}
+	}
+}
+
+// TestMeasureSmoke runs the harness end to end on one tiny scenario to keep
+// MeasureSuite's accounting wired (full measurements belong to
+// cmd/experiments -bench-json and CI's bench gate).
+func TestMeasureSmoke(t *testing.T) {
+	name, g := graphOf("ring", 64, 1)
+	tiny := []Scenario{{
+		Name:  "tokenring/" + name,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			return congest.Run(g, TokenRingProc(g.NumNodes(), g.NumNodes()), congest.Options{Seed: 1})
+		},
+	}}
+	rep, err := MeasureSuite(tiny, 1, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) == 0 {
+		t.Fatal("no measurements")
+	}
+	for _, m := range rep.Results {
+		if m.NsPerOp <= 0 || m.SimRounds <= 0 {
+			t.Errorf("%s/%s: empty measurement %+v", m.Scenario, m.Engine, m)
+		}
+	}
+	if len(rep.Speedup) == 0 {
+		t.Error("no speedup entries")
+	}
+}

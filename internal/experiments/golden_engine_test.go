@@ -25,11 +25,13 @@ func encodeRun(t *testing.T, workers int) []byte {
 }
 
 // TestGoldenBaselineFile pins every experiment table, grid and simulated-cost
-// metric against testdata/golden_short.json, which was captured on the
-// pre-rewrite (PR 2) channel engine before the arena engine and the
-// SendArc/InboxArc protocol migration landed. Any drift in a seeded output —
-// an inbox ordering change, a lost or duplicated message, a miscounted
-// bit — fails here byte-for-byte.
+// metric against testdata/golden_short.json. The E1…F1 sections were
+// captured on the pre-rewrite (PR 2) channel engine and have survived both
+// the arena-engine rewrite and the scenario-registry migration
+// byte-for-byte; the S1/S2 sections were appended when the registry sweeps
+// landed (their E-section bytes were verified unchanged at capture time).
+// Any drift in a seeded output — an inbox ordering change, a lost or
+// duplicated message, a miscounted bit — fails here byte-for-byte.
 func TestGoldenBaselineFile(t *testing.T) {
 	f, err := os.Open("testdata/golden_short.json")
 	if err != nil {

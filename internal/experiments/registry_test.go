@@ -6,14 +6,19 @@ import (
 )
 
 // monolithIDs is the complete table inventory of the pre-registry
-// experiments monolith; the registry must cover it.
+// experiments monolith; the registry must cover it (as a prefix — the
+// paper's presentation order is pinned).
 var monolithIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "F1"}
 
+// allIDs is the full expected registry: the monolith tables followed by the
+// scenario-registry sweeps.
+var allIDs = append(append([]string{}, monolithIDs...), "S1", "S2")
+
 func TestRegistryCompleteness(t *testing.T) {
-	if got := IDs(); !reflect.DeepEqual(got, monolithIDs) {
-		t.Fatalf("registry IDs = %v, want %v", got, monolithIDs)
+	if got := IDs(); !reflect.DeepEqual(got, allIDs) {
+		t.Fatalf("registry IDs = %v, want %v", got, allIDs)
 	}
-	for _, id := range monolithIDs {
+	for _, id := range allIDs {
 		e, ok := Get(id)
 		if !ok {
 			t.Fatalf("experiment %s not registered", id)
@@ -70,7 +75,7 @@ func TestSelect(t *testing.T) {
 		t.Fatal("Select(E99) did not fail")
 	}
 	all, err := Select(nil)
-	if err != nil || len(all) != len(monolithIDs) {
+	if err != nil || len(all) != len(allIDs) {
 		t.Fatalf("Select(nil) = %d experiments, err=%v", len(all), err)
 	}
 }

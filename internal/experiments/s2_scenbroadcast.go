@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/scenario"
+)
+
+// s2FloodRounds is the length of the measured broadcast flood.
+const s2FloodRounds = 16
+
+// s2Beat is the 1-bit flood payload (interface conversion of a zero-size
+// struct allocates nothing, so the flood measures the engine, not boxing).
+type s2Beat struct{}
+
+// Bits reports a 1-bit signal.
+func (s2Beat) Bits() int { return 1 }
+
+var expS2 = &Experiment{
+	ID:    "S2",
+	Title: "scenario registry — broadcast workloads across every graph family: BFS opening rounds vs D, flood message accounting",
+	Ref:   "§2 model + §5.4 opening phase across families",
+	Bound: "the O(D) opening phase finishes within 4·(depth(T)+2) rounds and never beats depth(T); a full flood delivers exactly 2·m messages per round on every family",
+	Grid:  scenAxis,
+	Run:   runS2,
+}
+
+// runS2 runs the communication workloads every composite protocol is built
+// from — the BFS opening phase and a full broadcast flood — across the
+// entire scenario registry. The opening phase's round count is checked
+// against its O(D) contract on every family (diameter-dominated rings,
+// log-diameter hypercubes and expanders alike), and the flood's message
+// count is checked exactly: degree profiles differ wildly across families,
+// but every engine round must deliver exactly one message per arc.
+func runS2(rc *RunContext) (*Table, error) {
+	t := &Table{
+		Header: []string{"family", "n", "m", "D≥", "bfs_rounds", "≤4(h+2)", "flood_msgs", "=2m·r", "flood_bits"},
+	}
+	for _, s := range scenario.All() {
+		for _, size := range scenSizes(s, rc.Short) {
+			g := s.Build(size, 1)
+			d := g.ApproxDiameter(0)
+			infos, bfsStats, err := bfsproto.Run(g, 0, 7, congest.Options{})
+			rc.Record(bfsStats)
+			if err != nil {
+				return nil, fmt.Errorf("%s/n=%d: bfs: %w", s.Name, size, err)
+			}
+			// The BFS height at the root is a D lower bound certificate.
+			height := infos[0].Height
+			floodStats, err := rc.Run(g, func(ctx *congest.Ctx) error {
+				for r := 0; r < s2FloodRounds; r++ {
+					ctx.SendAll(s2Beat{})
+					ctx.StepRound()
+				}
+				return nil
+			}, congest.Options{Seed: 1})
+			if err != nil {
+				return nil, fmt.Errorf("%s/n=%d: flood: %w", s.Name, size, err)
+			}
+			wantMsgs := int64(2*g.NumEdges()) * s2FloodRounds
+			t.Rows = append(t.Rows, []string{
+				s.Name, itoa(g.NumNodes()), itoa(g.NumEdges()), itoa(d),
+				itoa(bfsStats.Rounds),
+				okStr(bfsStats.Rounds >= height && bfsStats.Rounds <= 4*(height+2)),
+				i64(floodStats.Messages), okStr(floodStats.Messages == wantMsgs),
+				i64(floodStats.TotalBits),
+			})
+		}
+	}
+	return t, nil
+}

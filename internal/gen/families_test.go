@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"testing"
+
+	"lcshortcut/internal/graph"
+)
+
+// checkHandshake asserts the degree-sum identity, the basic simple-graph
+// property every generator must preserve.
+func checkHandshake(t *testing.T, g *graph.Graph) {
+	t.Helper()
+	degSum := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		degSum += g.Degree(v)
+	}
+	if degSum != 2*g.NumEdges() {
+		t.Fatalf("handshake lemma violated: degree sum %d, edges %d", degSum, g.NumEdges())
+	}
+}
+
+// checkSameGraph asserts two builds are byte-identical at the CSR level:
+// same edge list (IDs, endpoints, weights) and same arc arrays per vertex.
+func checkSameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: %d/%d nodes, %d/%d edges", a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for id := 0; id < a.NumEdges(); id++ {
+		if a.Edge(id) != b.Edge(id) {
+			t.Fatalf("edge %d differs: %+v vs %+v", id, a.Edge(id), b.Edge(id))
+		}
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		toA, edgeA := a.Arcs(v)
+		toB, edgeB := b.Arcs(v)
+		if len(toA) != len(toB) {
+			t.Fatalf("vertex %d: arc count differs", v)
+		}
+		for k := range toA {
+			if toA[k] != toB[k] || edgeA[k] != edgeB[k] {
+				t.Fatalf("vertex %d arc %d differs: (%d,%d) vs (%d,%d)", v, k, toA[k], edgeA[k], toB[k], edgeB[k])
+			}
+		}
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{10, 1}, {50, 2}, {200, 3}, {400, 5}} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := BarabasiAlbert(tc.n, tc.m, seed)
+			if g.NumNodes() != tc.n {
+				t.Fatalf("n=%d m=%d: nodes = %d", tc.n, tc.m, g.NumNodes())
+			}
+			want := tc.m*(tc.m+1)/2 + (tc.n-tc.m-1)*tc.m
+			if g.NumEdges() != want {
+				t.Errorf("n=%d m=%d: edges = %d, want %d", tc.n, tc.m, g.NumEdges(), want)
+			}
+			if !g.Connected() {
+				t.Errorf("n=%d m=%d seed=%d: not connected", tc.n, tc.m, seed)
+			}
+			checkHandshake(t, g)
+			// Every vertex past the seed star attaches with exactly m edges,
+			// so minimum degree is >= m.
+			for v := 0; v < g.NumNodes(); v++ {
+				if g.Degree(v) < tc.m {
+					t.Fatalf("vertex %d degree %d < m=%d", v, g.Degree(v), tc.m)
+				}
+			}
+		}
+	}
+	checkSameGraph(t, BarabasiAlbert(300, 3, 42), BarabasiAlbert(300, 3, 42))
+}
+
+func TestBarabasiAlbertIsScaleFree(t *testing.T) {
+	// Not a statistical test — just the qualitative hub property: the max
+	// degree of a preferential-attachment graph far exceeds its average.
+	g := BarabasiAlbert(2000, 3, 7)
+	maxDeg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := 2 * float64(g.NumEdges()) / float64(g.NumNodes())
+	if float64(maxDeg) < 5*avg {
+		t.Errorf("max degree %d vs average %.1f: no hubs — preferential attachment broken?", maxDeg, avg)
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	for _, n := range []int{10, 100, 500} {
+		for seed := int64(0); seed < 3; seed++ {
+			r := GeometricRadius(n, 8)
+			g := RandomGeometric(n, r, seed)
+			if g.NumNodes() != n {
+				t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+			}
+			if !g.Connected() {
+				t.Errorf("n=%d seed=%d: backbone failed to connect", n, seed)
+			}
+			checkHandshake(t, g)
+			// The Morton backbone alone gives n-1 edges.
+			if g.NumEdges() < n-1 {
+				t.Errorf("n=%d: fewer edges than the backbone", n)
+			}
+		}
+	}
+	r := GeometricRadius(400, 8)
+	checkSameGraph(t, RandomGeometric(400, r, 9), RandomGeometric(400, r, 9))
+}
+
+func TestRandomGeometricDegreeScale(t *testing.T) {
+	// The radius formula should land the average degree in the right decade.
+	n := 2000
+	g := RandomGeometric(n, GeometricRadius(n, 8), 3)
+	avg := 2 * float64(g.NumEdges()) / float64(n)
+	if avg < 4 || avg > 16 {
+		t.Errorf("average degree %.1f, want ~8 (radius formula or bucket search broken)", avg)
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{8, 3}, {50, 4}, {101, 4}, {64, 6}, {200, 3}} {
+		if tc.n*tc.d%2 != 0 {
+			t.Fatalf("bad test case %+v", tc)
+		}
+		for seed := int64(0); seed < 3; seed++ {
+			g := RandomRegular(tc.n, tc.d, seed)
+			if g.NumNodes() != tc.n || g.NumEdges() != tc.n*tc.d/2 {
+				t.Fatalf("n=%d d=%d: %d nodes %d edges", tc.n, tc.d, g.NumNodes(), g.NumEdges())
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if g.Degree(v) != tc.d {
+					t.Fatalf("n=%d d=%d seed=%d: degree(%d) = %d", tc.n, tc.d, seed, v, g.Degree(v))
+				}
+			}
+			if !g.Connected() {
+				t.Errorf("n=%d d=%d seed=%d: not connected", tc.n, tc.d, seed)
+			}
+			checkHandshake(t, g)
+		}
+	}
+	checkSameGraph(t, RandomRegular(128, 4, 11), RandomRegular(128, 4, 11))
+}
+
+func TestHypercube(t *testing.T) {
+	for dim := 1; dim <= 10; dim++ {
+		g := Hypercube(dim)
+		n := 1 << dim
+		if g.NumNodes() != n {
+			t.Fatalf("dim=%d: nodes = %d", dim, g.NumNodes())
+		}
+		if want := dim * n / 2; g.NumEdges() != want {
+			t.Errorf("dim=%d: edges = %d, want %d", dim, g.NumEdges(), want)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Degree(v) != dim {
+				t.Fatalf("dim=%d: degree(%d) = %d", dim, v, g.Degree(v))
+			}
+		}
+		if !g.Connected() {
+			t.Errorf("dim=%d: not connected", dim)
+		}
+		checkHandshake(t, g)
+	}
+	if d := Hypercube(6).Diameter(); d != 6 {
+		t.Errorf("Q6 diameter = %d, want 6", d)
+	}
+	checkSameGraph(t, Hypercube(8), Hypercube(8))
+}
+
+func TestCaveman(t *testing.T) {
+	for _, tc := range []struct{ k, s int }{{3, 3}, {5, 4}, {8, 8}, {20, 5}} {
+		g := Caveman(tc.k, tc.s)
+		if g.NumNodes() != tc.k*tc.s {
+			t.Fatalf("k=%d s=%d: nodes = %d", tc.k, tc.s, g.NumNodes())
+		}
+		if want := tc.k * tc.s * (tc.s - 1) / 2; g.NumEdges() != want {
+			t.Errorf("k=%d s=%d: edges = %d, want %d (rewiring must conserve edges)", tc.k, tc.s, g.NumEdges(), want)
+		}
+		if !g.Connected() {
+			t.Errorf("k=%d s=%d: not connected", tc.k, tc.s)
+		}
+		checkHandshake(t, g)
+		// The community partition must be valid shortcut input: each cave
+		// minus its rewired edge stays internally connected.
+		for c, part := range CavemanParts(tc.k, tc.s) {
+			if d := g.SubsetDiameter(part); d < 0 || d > 2 {
+				t.Errorf("k=%d s=%d: cave %d internal diameter %d, want <= 2", tc.k, tc.s, c, d)
+			}
+		}
+	}
+	checkSameGraph(t, Caveman(6, 5), Caveman(6, 5))
+}
+
+func TestSurfaceMesh(t *testing.T) {
+	for _, tc := range []struct{ w, h, g, tube int }{{9, 6, 1, 1}, {12, 10, 2, 2}, {16, 16, 4, 2}, {24, 12, 6, 3}} {
+		g := SurfaceMesh(tc.w, tc.h, tc.g, tc.tube)
+		wantN := tc.w*tc.h + 4*tc.tube*tc.g
+		if g.NumNodes() != wantN {
+			t.Fatalf("%+v: nodes = %d, want %d", tc, g.NumNodes(), wantN)
+		}
+		wantE := (tc.w-1)*tc.h + tc.w*(tc.h-1) + tc.g*(8*tc.tube+4)
+		if g.NumEdges() != wantE {
+			t.Errorf("%+v: edges = %d, want %d", tc, g.NumEdges(), wantE)
+		}
+		if !g.Connected() {
+			t.Errorf("%+v: not connected", tc)
+		}
+		checkHandshake(t, g)
+		// Bounded degree is what distinguishes a genuine surface mesh from
+		// HandledGrid's single extra edges: every vertex stays <= 5.
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.Degree(v) > 5 {
+				t.Fatalf("%+v: degree(%d) = %d > 5", tc, v, g.Degree(v))
+			}
+		}
+		// Euler bound: a graph of genus <= γ has |E| <= 3|V| - 6 + 6γ.
+		if g.NumEdges() > 3*g.NumNodes()-6+6*tc.g {
+			t.Errorf("%+v: violates the genus-%d Euler edge bound", tc, tc.g)
+		}
+	}
+	// genus 0 degenerates to the plain grid.
+	checkSameGraph(t, SurfaceMesh(8, 8, 0, 1), Grid(8, 8))
+	checkSameGraph(t, SurfaceMesh(16, 16, 3, 2), SurfaceMesh(16, 16, 3, 2))
+}

@@ -35,8 +35,12 @@ func Grid(w, h int) *graph.Graph { return gridBuilder(w, h).Finalize() }
 
 // gridBuilder is the unfinalized form of Grid, shared with generators that
 // extend a grid with extra edges before finalizing.
-func gridBuilder(w, h int) *graph.Builder {
-	g := graph.NewBuilder(w * h)
+func gridBuilder(w, h int) *graph.Builder { return gridBuilderN(w, h, 0) }
+
+// gridBuilderN is gridBuilder with room for extra vertices beyond the grid
+// (SurfaceMesh appends its handle tubes after the grid vertices).
+func gridBuilderN(w, h, extra int) *graph.Builder {
+	g := graph.NewBuilder(w*h + extra)
 	gi := GridIndexer{W: w, H: h}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {

@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// newFamilies are the six generator families this registry introduced; the
+// completeness test pins them so a refactor cannot silently drop one.
+var newFamilies = []string{"ba", "geometric", "regular", "hypercube", "caveman", "surface"}
+
+// TestRegistryCompleteness mirrors the experiments registry test: every
+// scenario self-describes fully and the six new families are present.
+func TestRegistryCompleteness(t *testing.T) {
+	if len(All()) < 12 {
+		t.Fatalf("registry has %d scenarios, expected the full family set", len(All()))
+	}
+	for _, name := range newFamilies {
+		if _, ok := Get(name); !ok {
+			t.Errorf("new family %q not registered", name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate scenario %q escaped Register", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Name == "" || s.Ref == "" || s.Description == "" || s.Build == nil {
+			t.Errorf("%s: incomplete self-description: %+v", s.Name, s)
+		}
+		if len(s.Tags) == 0 || len(s.Sizes) == 0 {
+			t.Errorf("%s: missing tags or sizes", s.Name)
+		}
+		for i := 1; i < len(s.Sizes); i++ {
+			if s.Sizes[i] <= s.Sizes[i-1] {
+				t.Errorf("%s: sizes %v not strictly ascending", s.Name, s.Sizes)
+			}
+		}
+	}
+	// The genus-bounded selector must cover the paper's target families.
+	genusNames := map[string]bool{}
+	for _, s := range WithTag("genus-bounded") {
+		genusNames[s.Name] = true
+	}
+	if !genusNames["torus"] || !genusNames["surface"] {
+		t.Errorf("WithTag(genus-bounded) = %v, want torus and surface included", genusNames)
+	}
+	if _, ok := Get("no-such-scenario"); ok {
+		t.Error("Get of unknown name succeeded")
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndMalformed(t *testing.T) {
+	mustPanic := func(name string, s *Scenario) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%s) did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	ok := *registryByName["grid"]
+	mustPanic("duplicate", &ok)
+	noBuild := ok
+	noBuild.Name, noBuild.Build = "x-test", nil
+	mustPanic("missing Build", &noBuild)
+	noSizes := ok
+	noSizes.Name, noSizes.Sizes = "x-test", nil
+	mustPanic("missing sizes", &noSizes)
+	unsorted := ok
+	unsorted.Name, unsorted.Sizes = "x-test", []int{1024, 256}
+	mustPanic("unsorted sizes", &unsorted)
+	if _, stray := Get("x-test"); stray {
+		t.Fatal("failed registration left a stray entry")
+	}
+	if mg := func() (s *Scenario) {
+		defer func() { recover() }() //nolint:errcheck // panic expected
+		return MustGet("x-test")
+	}(); mg != nil {
+		t.Fatal("MustGet of unknown name returned")
+	}
+}
+
+// TestInvariants builds every scenario at its smallest default size (two
+// seeds) and checks each declared invariant plus the handshake identity —
+// the registry-wide property test the six new generators ride on.
+func TestInvariants(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			n := s.Sizes[0]
+			for _, seed := range []int64{1, 99} {
+				g := s.Build(n, seed)
+				if got, want := g.NumNodes(), s.NumNodes(n); got != want {
+					t.Fatalf("seed=%d: nodes = %d, want %d", seed, got, want)
+				}
+				if s.Invariants.Edges != nil {
+					if got, want := g.NumEdges(), s.Invariants.Edges(n); got != want {
+						t.Fatalf("seed=%d: edges = %d, want %d", seed, got, want)
+					}
+				}
+				if s.Invariants.Connected && !g.Connected() {
+					t.Fatalf("seed=%d: not connected", seed)
+				}
+				degSum := 0
+				for v := 0; v < g.NumNodes(); v++ {
+					d := g.Degree(v)
+					degSum += d
+					if s.Invariants.Degree != nil {
+						if want := s.Invariants.Degree(n); d != want {
+							t.Fatalf("seed=%d: degree(%d) = %d, want %d-regular", seed, v, d, want)
+						}
+					}
+				}
+				if degSum != 2*g.NumEdges() {
+					t.Fatalf("seed=%d: handshake lemma violated", seed)
+				}
+				if s.Invariants.Genus != nil {
+					// Euler bound: genus <= γ implies |E| <= 3|V| - 6 + 6γ.
+					if γ := s.Invariants.Genus(n); g.NumNodes() >= 3 && g.NumEdges() > 3*g.NumNodes()-6+6*γ {
+						t.Fatalf("edge count %d violates the genus-%d Euler bound", g.NumEdges(), γ)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildsAreByteIdentical rebuilds every scenario with equal (n, seed)
+// and asserts CSR-level identity — the determinism contract every golden
+// test downstream relies on.
+func TestBuildsAreByteIdentical(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			n := s.Sizes[0]
+			a, b := s.Build(n, 7), s.Build(n, 7)
+			if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+				t.Fatalf("shape differs across rebuilds")
+			}
+			for id := 0; id < a.NumEdges(); id++ {
+				if a.Edge(id) != b.Edge(id) {
+					t.Fatalf("edge %d differs: %+v vs %+v", id, a.Edge(id), b.Edge(id))
+				}
+			}
+			for v := 0; v < a.NumNodes(); v++ {
+				toA, edgeA := a.Arcs(v)
+				toB, edgeB := b.Arcs(v)
+				if len(toA) != len(toB) {
+					t.Fatalf("vertex %d: arc count differs", v)
+				}
+				for k := range toA {
+					if toA[k] != toB[k] || edgeA[k] != edgeB[k] {
+						t.Fatalf("vertex %d arc %d differs", v, k)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSizeRounding spot-checks the size normalization helpers through the
+// public API.
+func TestSizeRounding(t *testing.T) {
+	cases := []struct {
+		name      string
+		requested int
+		nodes     int
+	}{
+		{"grid", 256, 256},
+		{"grid", 250, 256},        // rounds to 16x16
+		{"hypercube", 1000, 1024}, // rounds to 2^10
+		{"hypercube", 256, 256},
+		{"caveman", 256, 256}, // 32 caves of 8
+		{"surface", 256, 16*16 + 4*2*3},
+	}
+	for _, tc := range cases {
+		s := MustGet(tc.name)
+		if got := s.NumNodes(tc.requested); got != tc.nodes {
+			t.Errorf("%s: NumNodes(%d) = %d, want %d", tc.name, tc.requested, got, tc.nodes)
+		}
+		if got := s.Build(tc.requested, 1).NumNodes(); got != tc.nodes {
+			t.Errorf("%s: Build(%d) has %d nodes, want %d", tc.name, tc.requested, got, tc.nodes)
+		}
+	}
+}
