@@ -17,8 +17,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -26,21 +28,31 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	var (
-		baselinePath  = flag.String("baseline", "BENCH_engine.json", "committed baseline report `path`")
-		candidatePath = flag.String("candidate", "", "fresh report `path` to gate (required)")
-		maxRegress    = flag.Float64("max-regress", 0.30, "maximum tolerated ns/op regression (fraction over baseline)")
-		allocSlack    = flag.Int64("alloc-slack", 0, "absolute tolerated allocs/op increase")
-		allocFrac     = flag.Float64("alloc-frac", 0.02, "relative allocs/op measurement tolerance (the legacy channel engine's ~1M allocs/op carry ~1% GC-timing noise; a real steady-state regression adds at least one alloc per round, far above this)")
+		baselinePath  = fs.String("baseline", "BENCH_engine.json", "committed baseline report `path`")
+		candidatePath = fs.String("candidate", "", "fresh report `path` to gate (required)")
+		maxRegress    = fs.Float64("max-regress", 0.30, "maximum tolerated ns/op regression (fraction over baseline)")
+		allocSlack    = fs.Int64("alloc-slack", 0, "absolute tolerated allocs/op increase")
+		allocFrac     = fs.Float64("alloc-frac", 0.02, "relative allocs/op measurement tolerance (the legacy channel engine's ~1M allocs/op carry ~1% GC-timing noise; a real steady-state regression adds at least one alloc per round, far above this)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem and usage on stderr.
+		return fmt.Errorf("invalid arguments")
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 	if *candidatePath == "" {
 		return fmt.Errorf("-candidate is required")
 	}
@@ -68,11 +80,11 @@ func run() error {
 	}
 	var failures []string
 	matched := 0
-	fmt.Printf("%-28s %-10s %14s %14s %8s %10s\n", "SCENARIO", "ENGINE", "BASE ns/op", "CAND ns/op", "Δ%", "allocs")
+	fmt.Fprintf(out, "%-28s %-10s %14s %14s %8s %10s\n", "SCENARIO", "ENGINE", "BASE ns/op", "CAND ns/op", "Δ%", "allocs")
 	for _, m := range cand.Results {
 		b, ok := baseline[key{m.Scenario, m.Engine}]
 		if !ok {
-			fmt.Printf("%-28s %-10s %14s %14d %8s %10d  (no baseline — add one with a full -bench-json run)\n",
+			fmt.Fprintf(out, "%-28s %-10s %14s %14d %8s %10d  (no baseline — add one with a full -bench-json run)\n",
 				m.Scenario, m.Engine, "-", m.NsPerOp, "-", m.AllocsPerOp)
 			continue
 		}
@@ -98,7 +110,7 @@ func run() error {
 			failures = append(failures, fmt.Sprintf("%s/%s: %s", m.Scenario, m.Engine, verdict))
 			mark = "  FAIL"
 		}
-		fmt.Printf("%-28s %-10s %14d %14d %+7.1f%% %5d->%-4d%s\n",
+		fmt.Fprintf(out, "%-28s %-10s %14d %14d %+7.1f%% %5d->%-4d%s\n",
 			m.Scenario, m.Engine, b.NsPerOp, m.NsPerOp, delta, b.AllocsPerOp, m.AllocsPerOp, mark)
 	}
 	var unmeasured []key
@@ -112,7 +124,7 @@ func run() error {
 		return unmeasured[i].engine < unmeasured[j].engine
 	})
 	for _, k := range unmeasured {
-		fmt.Printf("%-28s %-10s  (baseline only — not measured by this run)\n", k.scenario, k.engine)
+		fmt.Fprintf(out, "%-28s %-10s  (baseline only — not measured by this run)\n", k.scenario, k.engine)
 	}
 	if matched == 0 {
 		return fmt.Errorf("no (scenario, engine) measurement matched the baseline — suite renamed without regenerating %s?", *baselinePath)
@@ -123,7 +135,7 @@ func run() error {
 		}
 		return fmt.Errorf("%d regression(s) against %s", len(failures), *baselinePath)
 	}
-	fmt.Printf("benchdiff: %d measurements within budget (ns/op +%.0f%%, allocs +max(%d, %.0f%%))\n", matched, 100**maxRegress, *allocSlack, 100**allocFrac)
+	fmt.Fprintf(out, "benchdiff: %d measurements within budget (ns/op +%.0f%%, allocs +max(%d, %.0f%%))\n", matched, 100**maxRegress, *allocSlack, 100**allocFrac)
 	return nil
 }
 

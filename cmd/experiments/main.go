@@ -1,7 +1,8 @@
 // Command experiments is the front end of the registry-driven experiment
 // harness: it lists, filters and regenerates the paper-reproduction tables
-// (E1-E9, F1) concurrently, and emits them as aligned text, machine-readable
-// JSON, Go benchmark-format lines, or the EXPERIMENTS.md document.
+// (E1-E9, F1, the scenario sweeps S1/S2 and the min-cut sweep M1)
+// concurrently, and emits them as aligned text, machine-readable JSON, Go
+// benchmark-format lines, or the EXPERIMENTS.md document.
 //
 //	experiments                  # run everything, print tables
 //	experiments E4 E7 F1         # run a subset

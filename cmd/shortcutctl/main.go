@@ -1,6 +1,7 @@
 // Command shortcutctl builds a graph and partition, constructs a
 // tree-restricted shortcut (centralized reference or the full distributed
-// protocol), and reports its quality parameters.
+// protocol), and reports its quality parameters. The mincut subcommand runs
+// the tree-packing minimum-cut application instead (see mincut.go).
 //
 // Examples:
 //
@@ -8,11 +9,14 @@
 //	shortcutctl -graph torus:12x12 -partition snake:2 -mode dist
 //	shortcutctl -graph handled:16x16x3 -partition voronoi:8 -auto
 //	shortcutctl -graph grid:9x9 -partition snake:1 -render 0
+//	shortcutctl mincut -graph grid:8x8 -trees 3 -mode dist
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,24 +32,41 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "mincut" {
+		err = runMincut(args[1:], os.Stdout)
+	} else {
+		err = run(args, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "shortcutctl: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shortcutctl", flag.ContinueOnError)
 	var (
-		graphSpec = flag.String("graph", "grid:12x12", "graph family: grid:WxH | torus:WxH | handled:WxHxG | ring:N | tree:N | er:N,P | lowerbound:MxL | pathpower:N,K")
-		partSpec  = flag.String("partition", "voronoi:6", "partition: voronoi:N | columns | snake:N | combs | singletons | whole | paths (lowerbound only)")
-		mode      = flag.String("mode", "central", "central (reference algorithms) or dist (full CONGEST protocol)")
-		cFlag     = flag.Int("c", 0, "witness congestion (0 = use canonical witness c*)")
-		bFlag     = flag.Int("b", 1, "witness block parameter")
-		auto      = flag.Bool("auto", false, "unknown parameters: Appendix A doubling search")
-		seed      = flag.Int64("seed", 7, "shared-randomness seed")
-		render    = flag.Int("render", -1, "render the block decomposition of this part (grids only)")
+		graphSpec = fs.String("graph", "grid:12x12", "graph family: grid:WxH | torus:WxH | handled:WxHxG | ring:N | tree:N | er:N,P | lowerbound:MxL | pathpower:N,K")
+		partSpec  = fs.String("partition", "voronoi:6", "partition: voronoi:N | columns | snake:N | combs | singletons | whole | paths (lowerbound only)")
+		mode      = fs.String("mode", "central", "central (reference algorithms) or dist (full CONGEST protocol)")
+		cFlag     = fs.Int("c", 0, "witness congestion (0 = use canonical witness c*)")
+		bFlag     = fs.Int("b", 1, "witness block parameter")
+		auto      = fs.Bool("auto", false, "unknown parameters: Appendix A doubling search")
+		seed      = fs.Int64("seed", 7, "shared-randomness seed")
+		render    = fs.Int("render", -1, "render the block decomposition of this part (grids only)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem and usage on stderr.
+		return fmt.Errorf("invalid arguments")
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v (subcommands go first: shortcutctl mincut ...)", fs.Args())
+	}
 
 	g, w, h, parts, err := buildGraph(*graphSpec)
 	if err != nil {
@@ -64,7 +85,7 @@ func run() error {
 	if c == 0 {
 		c = cStar
 	}
-	fmt.Printf("graph: n=%d m=%d diameter<=%d  partition: N=%d maxPartDiam=%d  witness c*=%d\n",
+	fmt.Fprintf(out, "graph: n=%d m=%d diameter<=%d  partition: N=%d maxPartDiam=%d  witness c*=%d\n",
 		g.NumNodes(), g.NumEdges(), tr.Height()*2, p.NumParts(), p.MaxPartDiameter(g), cStar)
 
 	var s *core.Shortcut
@@ -74,14 +95,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("doubling settled at est=%d after %d failed probes\n", ar.EstC, ar.Probes)
+		fmt.Fprintf(out, "doubling settled at est=%d after %d failed probes\n", ar.EstC, ar.Probes)
 		s = ar.S
 	case *mode == "central":
 		fr, err := core.FindShortcut(tr, p, core.FindConfig{C: c, B: *bFlag, Seed: *seed})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("FindShortcut finished in %d iterations (good per iter: %v)\n", fr.Iterations, fr.GoodPerIteration)
+		fmt.Fprintf(out, "FindShortcut finished in %d iterations (good per iter: %v)\n", fr.Iterations, fr.GoodPerIteration)
 		s = fr.S
 	case *mode == "dist":
 		results, stats, ok, err := findshort.Run(g, p, 0, findshort.Config{C: c, B: *bFlag, Seed: *seed}, congest.Options{})
@@ -91,7 +112,7 @@ func run() error {
 		if !ok {
 			return fmt.Errorf("distributed FindShortcut failed (C=%d B=%d too small); try -auto or larger -c", c, *bFlag)
 		}
-		fmt.Printf("distributed run: %d CONGEST rounds, %d messages, %d iterations\n",
+		fmt.Fprintf(out, "distributed run: %d CONGEST rounds, %d messages, %d iterations\n",
 			stats.Rounds, stats.Messages, results[0].Iterations)
 		states := make([]*coredist.NodeShortcut, len(results))
 		for v, r := range results {
@@ -106,7 +127,7 @@ func run() error {
 	}
 
 	q := s.Measure()
-	fmt.Printf("quality: congestion=%d (shortcut-only %d)  block=%d  dilation=%d  (Lemma 1 bound %d)\n",
+	fmt.Fprintf(out, "quality: congestion=%d (shortcut-only %d)  block=%d  dilation=%d  (Lemma 1 bound %d)\n",
 		q.Congestion, s.ShortcutCongestion(), q.BlockParameter, q.Dilation,
 		q.BlockParameter*(2*tr.Height()+1))
 
@@ -114,7 +135,7 @@ func run() error {
 		if w == 0 {
 			return fmt.Errorf("-render needs a grid-family graph")
 		}
-		renderBlocks(s, p, w, h, *render)
+		renderBlocks(out, s, p, w, h, *render)
 	}
 	return nil
 }
@@ -218,9 +239,9 @@ func buildPartition(g *graph.Graph, w, h, lbSpec int, spec string) (*partition.P
 }
 
 // renderBlocks prints the Figure 1 style block decomposition of one part.
-func renderBlocks(s *core.Shortcut, p *partition.Partition, w, h, part int) {
+func renderBlocks(out io.Writer, s *core.Shortcut, p *partition.Partition, w, h, part int) {
 	blocks := s.Blocks(part)
-	fmt.Printf("part %d decomposes into %d block components:\n", part, len(blocks))
+	fmt.Fprintf(out, "part %d decomposes into %d block components:\n", part, len(blocks))
 	cell := make(map[graph.NodeID]byte)
 	for bi, blk := range blocks {
 		for _, v := range blk.Nodes {
@@ -233,13 +254,13 @@ func renderBlocks(s *core.Shortcut, p *partition.Partition, w, h, part int) {
 			v := gi.Node(x, y)
 			switch {
 			case cell[v] != 0:
-				fmt.Printf("%c ", cell[v])
+				fmt.Fprintf(out, "%c ", cell[v])
 			case p.Part(v) == part:
-				fmt.Print("# ")
+				fmt.Fprint(out, "# ")
 			default:
-				fmt.Print(". ")
+				fmt.Fprint(out, ". ")
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 }

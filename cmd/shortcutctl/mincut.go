@@ -1,0 +1,93 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/mincut"
+	"lcshortcut/internal/mst"
+)
+
+// runMincut is the mincut subcommand: greedy tree packing, 1-respecting cut
+// evaluation, and the exact Stoer–Wagner comparison — either the full
+// distributed CONGEST protocol (-mode dist, with witness certification and
+// round accounting) or the centralized reference (-mode central). A -eps
+// bound turns the ratio into an exit status: the command fails when the
+// witness cut exceeds (1+ε)·OPT.
+func runMincut(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shortcutctl mincut", flag.ContinueOnError)
+	var (
+		graphSpec = fs.String("graph", "grid:12x12", "graph family: grid:WxH | torus:WxH | handled:WxHxG | ring:N | tree:N | er:N,P | lowerbound:MxL | pathpower:N,K")
+		trees     = fs.Int("trees", 0, "packed spanning trees (0 = ceil(log2 n) + 1)")
+		mode      = fs.String("mode", "dist", "dist (full CONGEST protocol) or central (reference packer)")
+		strategy  = fs.String("strategy", "canonical", "packing MST communication: canonical | shortcut | noshortcut (dist mode)")
+		seed      = fs.Int64("seed", 7, "shared-randomness seed (dist mode)")
+		eps       = fs.Float64("eps", 0, "fail when cut > (1+eps)·exact (0 disables the bound check)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem and usage on stderr.
+		return fmt.Errorf("invalid arguments")
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	g, _, _, _, err := buildGraph(*graphSpec)
+	if err != nil {
+		return err
+	}
+
+	var outc *mincut.Outcome
+	switch *mode {
+	case "dist":
+		strat, ok := map[string]mst.Strategy{
+			"canonical":  mst.StrategyCanonical,
+			"shortcut":   mst.StrategyShortcut,
+			"noshortcut": mst.StrategyNoShortcut,
+		}[*strategy]
+		if !ok {
+			return fmt.Errorf("unknown packing strategy %q", *strategy)
+		}
+		res, stats, err := mincut.Run(g, 0, *seed, mincut.Config{Trees: *trees, Strategy: strat}, congest.Options{})
+		if err != nil {
+			return err
+		}
+		outc = res
+		fmt.Fprintf(out, "graph: n=%d m=%d  packing: %d trees (%s strategy)\n",
+			g.NumNodes(), g.NumEdges(), res.Trees, *strategy)
+		fmt.Fprintf(out, "distributed run: %d CONGEST rounds, %d messages, certified cut=%d\n",
+			stats.Rounds, stats.Messages, res.Certified)
+	case "central":
+		res, err := mincut.Central(g, 0, *trees)
+		if err != nil {
+			return err
+		}
+		outc = res
+		fmt.Fprintf(out, "graph: n=%d m=%d  packing: %d trees (centralized reference)\n",
+			g.NumNodes(), g.NumEdges(), res.Trees)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	if outc.TreeIdx >= 0 {
+		fmt.Fprintf(out, "witness: cut=%d, 1-respecting tree %d at edge %d (|S|=%d)\n",
+			outc.Cut, outc.TreeIdx, outc.CutEdge, outc.WitnessSize)
+	} else {
+		fmt.Fprintf(out, "witness: cut=%d, degree cut at vertex %d\n", outc.Cut, outc.MinDegNode)
+	}
+	exact, _, err := mincut.StoerWagner(g)
+	if err != nil {
+		return err
+	}
+	ratio := float64(outc.Cut) / float64(exact)
+	fmt.Fprintf(out, "exact: %d (Stoer–Wagner)  ratio=%.3f\n", exact, ratio)
+	if *eps > 0 && float64(outc.Cut) > (1+*eps)*float64(exact)+1e-9 {
+		return fmt.Errorf("approximation bound violated: cut %d > (1+%g)·%d", outc.Cut, *eps, exact)
+	}
+	return nil
+}

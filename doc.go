@@ -9,7 +9,8 @@
 // tree-restricted shortcut framework with both centralized references and
 // round-exact distributed protocols (internal/core, internal/coredist,
 // internal/partops, internal/findshort), and the applications: MST
-// (internal/mst, Lemma 4) and part-parallel aggregation (internal/partagg).
+// (internal/mst, Lemma 4), part-parallel aggregation (internal/partagg) and
+// (1+ε)-approximate minimum cut via greedy tree packing (internal/mincut).
 //
 // Every quantitative claim is reproduced by the registry-driven concurrent
 // experiment harness (internal/experiments, driven by cmd/experiments).

@@ -44,6 +44,54 @@ func TestAllocGuardBroadcast(t *testing.T) {
 	}
 }
 
+// pulse is a zero-size payload: boxing it allocates nothing, so the guard
+// below measures engine allocations only.
+type pulse struct{}
+
+func (pulse) Bits() int { return 2 }
+
+// packingTrafficProc mimics the round-level traffic shape of the min-cut
+// packing protocol without its per-phase bookkeeping: announce rounds
+// (SendAll + StepRound, every arc loaded), convergecast rounds (one SendArc
+// up a fixed arc + Step/InboxArc scan) and silent barrier rounds, cycled.
+// The protocol itself allocates per phase; this guard pins that the engine
+// underneath it stays at zero steady-state allocations per round.
+func packingTrafficProc(rounds int) congest.Proc {
+	return func(ctx *congest.Ctx) error {
+		for r := 0; r < rounds; r++ {
+			switch r % 3 {
+			case 0: // fragment announce: every edge loaded both ways
+				ctx.SendAll(pulse{})
+				ctx.StepRound()
+			case 1: // convergecast step: one uplink send, fast-path inbox scan
+				ctx.SendArc(0, pulse{})
+				ctx.Step()
+				for k := range ctx.Neighbors() {
+					ctx.InboxArc(k)
+				}
+			default: // alignment barrier: no traffic
+				ctx.Step()
+			}
+		}
+		return nil
+	}
+}
+
+// TestAllocGuardPackingTraffic extends the steady-state guard to the
+// min-cut protocol's traffic shape: mixed announce floods, arc-indexed
+// convergecast steps and silent barriers must all run at zero engine
+// allocations per round.
+func TestAllocGuardPackingTraffic(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineEventLoop)
+	defer congest.SetEngine(prev)
+	if per := perRoundAllocs(t, gen.Grid(12, 12), packingTrafficProc); per > 0.02 {
+		t.Errorf("packing-traffic steady state allocates %.3f allocs/round, want 0", per)
+	}
+}
+
 // TestAllocGuardTokenRing is the sparse-traffic guard: a single circulating
 // token must not make idle mailboxes allocate (the pre-rewrite engine's
 // per-round inbox sweep allocated regardless of traffic).

@@ -20,6 +20,10 @@
 //     traffic; the arena engine pays O(degree) per stepping node).
 //   - BFS opening — the real bfsproto phase every composite protocol starts
 //     with, on the two largest families (grid at 65536, er-sparse at 50000).
+//   - min-cut packing — the full internal/mincut protocol (two packed MSTs
+//     over the canonical shortcut plus witness certification) on a small
+//     grid: the heaviest composite workload, tracking the cost of the
+//     partops cast pipelines end to end.
 //
 // Both microbenchmark protocols allocate nothing per round themselves
 // (zero-size payloads box without allocating, StepRound returns a reused
@@ -35,6 +39,7 @@ import (
 	"lcshortcut/internal/bfsproto"
 	"lcshortcut/internal/congest"
 	"lcshortcut/internal/graph"
+	"lcshortcut/internal/mincut"
 	"lcshortcut/internal/scenario"
 )
 
@@ -163,6 +168,19 @@ func Scenarios() []Scenario {
 		Graph: ringGraph,
 		Run: func(g *graph.Graph) (congest.Stats, error) {
 			return congest.Run(g, TokenRingProc(g.NumNodes(), g.NumNodes()), congest.Options{Seed: 1})
+		},
+	})
+	// The min-cut tree-packing protocol: the heaviest composite workload —
+	// per run it simulates two packed Boruvka MSTs over the canonical
+	// shortcut plus the witness certification pass, exercising the partops
+	// cast pipelines end to end.
+	mcName, mcGraph := graphOf("grid", 64, 3)
+	suite = append(suite, Scenario{
+		Name:  "mincut/" + mcName,
+		Graph: mcGraph,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			_, stats, err := mincut.Run(g, 0, 7, mincut.Config{Trees: 2}, congest.Options{})
+			return stats, err
 		},
 	})
 	suite = append(suite,

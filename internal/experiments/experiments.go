@@ -5,8 +5,10 @@
 // FindShortcut quality and round bounds; E5 — Theorem 1/Corollary 1 genus
 // scaling; E6 — Theorem 2 part-parallel routing; E7 — Lemma 4 MST vs
 // baselines; E8 — Appendix A doubling; E9 — the §1.2 motivation (part
-// diameter vs graph diameter); and F1 — a rendering of Figure 1's block
-// decomposition.
+// diameter vs graph diameter); F1 — a rendering of Figure 1's block
+// decomposition; S1/S2 — the scenario-registry quality and broadcast
+// sweeps; and M1 — the min-cut application (greedy tree packing verified
+// against exact Stoer–Wagner) across every registered graph family.
 //
 // Each experiment is a self-describing Experiment value — ID, paper
 // reference, parameter grid, bound predicate, run function — registered in

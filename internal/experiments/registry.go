@@ -143,11 +143,12 @@ func Select(ids []string) ([]*Experiment, error) {
 // init wires every experiment file's descriptor into the central registry.
 // Package-level vars are initialized before init functions run, so the
 // registration order here — not file order — defines presentation order:
-// the paper's tables E1…E9 and F1, then the scenario-registry sweeps S1/S2.
+// the paper's tables E1…E9 and F1, then the scenario-registry sweeps S1/S2,
+// then the min-cut application sweep M1.
 func init() {
 	for _, e := range []*Experiment{
 		expE1, expE2, expE3, expE4, expE5, expE6, expE7, expE8, expE9, expF1,
-		expS1, expS2,
+		expS1, expS2, expM1,
 	} {
 		Register(e)
 	}

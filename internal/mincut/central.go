@@ -1,0 +1,141 @@
+package mincut
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/graph"
+)
+
+// StoerWagner computes the exact global minimum weighted cut of g with the
+// Stoer–Wagner minimum-cut-phase algorithm (deterministic: maximum-adjacency
+// ties break toward the smaller vertex ID). It returns the cut weight and
+// one side of a minimum cut as a per-vertex membership bitmap. Edge weights
+// must be positive; a disconnected graph reports cut 0. Runtime is O(n³)
+// with an O(n²) adjacency matrix — the centralized verifier the distributed
+// protocol is differentially tested against, intended for n up to a few
+// thousand.
+func StoerWagner(g *graph.Graph) (int64, []bool, error) {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0, nil, fmt.Errorf("mincut: need at least 2 nodes, have %d", n)
+	}
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		if ed.W <= 0 {
+			return 0, nil, fmt.Errorf("mincut: edge %d has non-positive weight %d", e, ed.W)
+		}
+		w[ed.U][ed.V] += ed.W
+		w[ed.V][ed.U] += ed.W
+	}
+	// groups[v] lists the original vertices merged into supernode v.
+	groups := make([][]graph.NodeID, n)
+	for v := range groups {
+		groups[v] = []graph.NodeID{v}
+	}
+	active := make([]bool, n)
+	for v := range active {
+		active[v] = true
+	}
+	inA := make([]bool, n)
+	wsum := make([]int64, n)
+	bestVal := int64(-1)
+	var bestSide []graph.NodeID
+	for remaining := n; remaining > 1; remaining-- {
+		for v := 0; v < n; v++ {
+			inA[v], wsum[v] = false, 0
+		}
+		prev, last := -1, -1
+		for step := 0; step < remaining; step++ {
+			sel := -1
+			for v := 0; v < n; v++ {
+				if active[v] && !inA[v] && (sel == -1 || wsum[v] > wsum[sel]) {
+					sel = v
+				}
+			}
+			inA[sel] = true
+			prev, last = last, sel
+			for v := 0; v < n; v++ {
+				if active[v] && !inA[v] {
+					wsum[v] += w[sel][v]
+				}
+			}
+		}
+		// wsum[last] froze at selection time: the cut-of-the-phase separating
+		// the vertices merged into `last` from the rest.
+		if bestVal < 0 || wsum[last] < bestVal {
+			bestVal = wsum[last]
+			bestSide = append(bestSide[:0], groups[last]...)
+		}
+		// Merge last into prev.
+		groups[prev] = append(groups[prev], groups[last]...)
+		active[last] = false
+		for v := 0; v < n; v++ {
+			if active[v] && v != prev {
+				w[prev][v] += w[last][v]
+				w[v][prev] = w[prev][v]
+			}
+		}
+	}
+	side := make([]bool, n)
+	for _, v := range bestSide {
+		side[v] = true
+	}
+	return bestVal, side, nil
+}
+
+// CutWeight returns the total weight of edges crossing the (S, V∖S) cut
+// given as a membership bitmap — the brute-force evaluator behind the
+// differential tests.
+func CutWeight(g *graph.Graph, side []bool) int64 {
+	var total int64
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		if side[ed.U] != side[ed.V] {
+			total += ed.W
+		}
+	}
+	return total
+}
+
+// Central is the centralized reference driver: GreedyPack, per-tree
+// 1-respecting evaluation and the minimum-degree candidate, selected through
+// the same Evaluate the distributed Run uses. Because the distributed
+// packing reproduces GreedyPack's trees exactly, Run and Central must agree
+// on every Outcome field except the simulation-only NodeCuts — the
+// end-to-end differential the tests pin. Certified carries a direct
+// CutWeight re-count of the witness side. k == 0 selects the practical
+// default packing width.
+func Central(g *graph.Graph, root graph.NodeID, k int) (*Outcome, error) {
+	n := g.NumNodes()
+	if k == 0 {
+		k = defaultTrees(n)
+	}
+	trees, loads, err := GreedyPack(g, k)
+	if err != nil {
+		return nil, err
+	}
+	minDeg, minDegNode := int64(-1), graph.NodeID(-1)
+	for v := 0; v < n; v++ {
+		var deg int64
+		_, eids := g.Arcs(v)
+		for _, e := range eids {
+			deg += g.Edge(graph.EdgeID(e)).W
+		}
+		if minDeg < 0 || deg < minDeg {
+			minDeg, minDegNode = deg, v
+		}
+	}
+	out, err := Evaluate(g, root, trees, loads, minDeg, minDegNode)
+	if err != nil {
+		return nil, err
+	}
+	out.Certified = CutWeight(g, out.Witness)
+	if out.Certified != out.Cut {
+		return nil, fmt.Errorf("mincut: witness re-count %d disagrees with evaluated cut %d", out.Certified, out.Cut)
+	}
+	return out, nil
+}

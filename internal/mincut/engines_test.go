@@ -1,0 +1,134 @@
+package mincut
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/gen"
+)
+
+var engines = []struct {
+	name string
+	e    congest.Engine
+}{
+	{"eventloop", congest.EngineEventLoop},
+	{"channel", congest.EngineChannel},
+}
+
+// TestMincutEnginesIdentical pins the cross-engine contract for the new
+// protocol: outcome and simulated cost must be byte-identical on the
+// event-loop and channel engines.
+func TestMincutEnginesIdentical(t *testing.T) {
+	g := gen.WithUniqueWeights(gen.Grid(6, 6), 4)
+	var ref *Outcome
+	var refStats congest.Stats
+	for _, eng := range engines {
+		prev := congest.SetEngine(eng.e)
+		out, stats, err := Run(g, 0, 9, Config{Trees: 3}, congest.Options{})
+		congest.SetEngine(prev)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.name, err)
+		}
+		if ref == nil {
+			ref, refStats = out, stats
+			continue
+		}
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("%s outcome %+v diverges from event-loop %+v", eng.name, out, ref)
+		}
+		if stats != refStats {
+			t.Fatalf("%s stats %+v diverge from event-loop %+v", eng.name, stats, refStats)
+		}
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops back to at most base,
+// so asynchronous abort unwinding cannot flake the leak assertions
+// (mirroring congest's engines_test pattern).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, want <= %d", runtime.NumGoroutine(), base)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMincutAbortMidPackingNoGoroutineLeak aborts the protocol in the middle
+// of the packing stage with a tight watchdog on both engines: Run must
+// surface ErrMaxRounds and join every node goroutine (immediately on the
+// event-loop engine, eventually on the channel reference).
+func TestMincutAbortMidPackingNoGoroutineLeak(t *testing.T) {
+	g := gen.Grid(6, 6)
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			prev := congest.SetEngine(eng.e)
+			_, _, err := Run(g, 0, 7, Config{Trees: 4}, congest.Options{MaxRounds: 60})
+			congest.SetEngine(prev)
+			if !errors.Is(err, congest.ErrMaxRounds) {
+				t.Fatalf("err = %v, want ErrMaxRounds", err)
+			}
+			if eng.e == congest.EngineEventLoop && runtime.NumGoroutine() > base {
+				t.Errorf("event-loop Run returned with %d goroutines, baseline %d (must join all nodes)",
+					runtime.NumGoroutine(), base)
+			}
+			waitGoroutines(t, base)
+		})
+	}
+}
+
+// TestMincutWorkerConcurrencySafe runs the protocol concurrently on both
+// engines from several goroutines — the harness's worker-pool shape — so the
+// race detector can check the shared engine pools under the new workload.
+func TestMincutWorkerConcurrencySafe(t *testing.T) {
+	graphs := []struct {
+		name string
+		run  func() (*Outcome, error)
+	}{
+		{"grid5x5", func() (*Outcome, error) {
+			out, _, err := Run(gen.Grid(5, 5), 0, 3, Config{Trees: 2}, congest.Options{})
+			return out, err
+		}},
+		{"ring12", func() (*Outcome, error) {
+			out, _, err := Run(gen.Ring(12), 0, 5, Config{Trees: 2}, congest.Options{})
+			return out, err
+		}},
+	}
+	for _, gr := range graphs {
+		want, err := gr.run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([]*Outcome, 4)
+		errs := make([]error, 4)
+		done := make(chan int)
+		for w := 0; w < 4; w++ {
+			go func(w int) {
+				results[w], errs[w] = gr.run()
+				done <- w
+			}(w)
+		}
+		for range results {
+			<-done
+		}
+		for w, err := range errs {
+			if err != nil {
+				t.Fatalf("%s worker %d: %v", gr.name, w, err)
+			}
+			if !reflect.DeepEqual(results[w], want) {
+				t.Fatalf("%s worker %d outcome diverges", gr.name, w)
+			}
+		}
+	}
+}

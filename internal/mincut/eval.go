@@ -1,0 +1,138 @@
+package mincut
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/tree"
+)
+
+// LiftTree roots a spanning tree given as an edge-membership bitmap at root
+// and returns it as a tree.Tree, erroring when the member edges do not span
+// the graph.
+func LiftTree(g *graph.Graph, root graph.NodeID, member []bool) (*tree.Tree, error) {
+	n := g.NumNodes()
+	parents := make([]graph.NodeID, n)
+	for v := range parents {
+		parents[v] = -1
+	}
+	seen := make([]bool, n)
+	seen[root] = true
+	queue := make([]graph.NodeID, 0, n)
+	queue = append(queue, root)
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		to, eid := g.Arcs(v)
+		for k, wi := range to {
+			if w := graph.NodeID(wi); member[eid[k]] && !seen[w] {
+				seen[w] = true
+				parents[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	if len(queue) != n {
+		return nil, fmt.Errorf("mincut: packed edge set reaches %d of %d vertices", len(queue), n)
+	}
+	return tree.FromParents(g, root, parents)
+}
+
+// BestOneRespecting returns the minimum 1-respecting cut of spanning tree t:
+// the minimum, over tree edges e, of the weight of the cut separating the
+// subtree below e from the rest, together with the achieving edge (ties
+// break toward the smaller edge ID). It runs one subtree aggregation: with
+// A(v) the total weight of edges whose tree LCA is v,
+//
+//	cut(S_c) = Σ_{v ∈ S_c} (deg_w(v) − 2·A(v))
+//
+// because an edge with both endpoints in the subtree S_c is counted twice by
+// the degree term and has its LCA inside S_c, while a crossing edge is
+// counted once and has its LCA outside.
+func BestOneRespecting(t *tree.Tree) (int64, graph.EdgeID) {
+	g := t.Graph()
+	n := g.NumNodes()
+	val := make([]int64, n)
+	for e := 0; e < g.NumEdges(); e++ {
+		ed := g.Edge(e)
+		val[ed.U] += ed.W
+		val[ed.V] += ed.W
+		val[t.LCA(ed.U, ed.V)] -= 2 * ed.W
+	}
+	// Subtree sums bottom-up: BFS order visits parents before children.
+	order := t.BFSOrder()
+	for i := len(order) - 1; i > 0; i-- {
+		v := order[i]
+		val[t.Parent(v)] += val[v]
+	}
+	bestVal, bestEdge := int64(-1), graph.EdgeID(-1)
+	for _, v := range order[1:] {
+		cut, e := val[v], t.ParentEdge(v)
+		if bestVal < 0 || cut < bestVal || (cut == bestVal && e < bestEdge) {
+			bestVal, bestEdge = cut, e
+		}
+	}
+	return bestVal, bestEdge
+}
+
+// Evaluate picks the best witness cut among every packed tree's minimum
+// 1-respecting cut and the minimum-degree candidate. Ties prefer tree cuts
+// over the degree cut, then the lower tree index (BestOneRespecting already
+// breaks edge ties). Both the distributed Run and the centralized Central
+// driver select through this function, so their outcomes are comparable
+// field for field.
+func Evaluate(g *graph.Graph, root graph.NodeID, treeEdges [][]graph.EdgeID, loads []int, minDeg int64, minDegNode graph.NodeID) (*Outcome, error) {
+	out := &Outcome{
+		Trees:      len(treeEdges),
+		TreeEdges:  treeEdges,
+		Loads:      loads,
+		MinDeg:     minDeg,
+		MinDegNode: minDegNode,
+		TreeIdx:    -1,
+		CutEdge:    -1,
+		Cut:        minDeg,
+	}
+	member := make([]bool, g.NumEdges())
+	bestFromTrees := false
+	for t, edges := range treeEdges {
+		for e := range member {
+			member[e] = false
+		}
+		for _, e := range edges {
+			member[e] = true
+		}
+		tr, err := LiftTree(g, root, member)
+		if err != nil {
+			return nil, fmt.Errorf("mincut: tree %d: %w", t, err)
+		}
+		val, cutEdge := BestOneRespecting(tr)
+		if val < out.Cut || (val == out.Cut && !bestFromTrees) {
+			out.Cut, out.TreeIdx, out.CutEdge = val, t, cutEdge
+			out.Witness = SubtreeSide(tr, cutEdge)
+			bestFromTrees = true
+		}
+	}
+	if !bestFromTrees {
+		out.Witness = make([]bool, g.NumNodes())
+		out.Witness[minDegNode] = true
+	}
+	for _, in := range out.Witness {
+		if in {
+			out.WitnessSize++
+		}
+	}
+	return out, nil
+}
+
+// SubtreeSide returns the membership bitmap of the subtree below tree edge e
+// — the witness side of the 1-respecting cut at e.
+func SubtreeSide(t *tree.Tree, e graph.EdgeID) []bool {
+	g := t.Graph()
+	side := make([]bool, g.NumNodes())
+	c := t.EdgeChild(e)
+	for _, v := range t.BFSOrder() {
+		if v == c || (t.Parent(v) != -1 && side[t.Parent(v)]) {
+			side[v] = true
+		}
+	}
+	return side
+}

@@ -1,0 +1,57 @@
+package mincut
+
+import (
+	"fmt"
+	"sort"
+
+	"lcshortcut/internal/graph"
+)
+
+// GreedyPack is the centralized reference packer: tree t is the unique
+// minimum spanning tree under the (load, weight, edge ID) order, where
+// load(e) counts the previously packed trees containing e; the chosen tree's
+// edges then increment their load. The distributed PackPhase runs the same
+// selection rule through the Boruvka protocol, so the two must produce
+// identical tree sets edge for edge — the packing differential test.
+// Returns the per-tree edge lists (each sorted ascending) and final loads.
+func GreedyPack(g *graph.Graph, k int) ([][]graph.EdgeID, []int, error) {
+	n, m := g.NumNodes(), g.NumEdges()
+	if n < 2 {
+		return nil, nil, fmt.Errorf("mincut: need at least 2 nodes, have %d", n)
+	}
+	load := make([]int, m)
+	order := make([]graph.EdgeID, m)
+	trees := make([][]graph.EdgeID, 0, k)
+	for t := 0; t < k; t++ {
+		for e := range order {
+			order[e] = e
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ea, eb := order[a], order[b]
+			if load[ea] != load[eb] {
+				return load[ea] < load[eb]
+			}
+			if wa, wb := g.Edge(ea).W, g.Edge(eb).W; wa != wb {
+				return wa < wb
+			}
+			return ea < eb
+		})
+		uf := graph.NewUnionFind(n)
+		tree := make([]graph.EdgeID, 0, n-1)
+		for _, e := range order {
+			ed := g.Edge(e)
+			if uf.Union(ed.U, ed.V) {
+				tree = append(tree, e)
+			}
+		}
+		if len(tree) != n-1 {
+			return nil, nil, fmt.Errorf("mincut: graph disconnected (%d of %d tree edges in packing round %d)", len(tree), n-1, t)
+		}
+		sort.Ints(tree)
+		for _, e := range tree {
+			load[e]++
+		}
+		trees = append(trees, tree)
+	}
+	return trees, load, nil
+}

@@ -38,6 +38,13 @@ type Config struct {
 	C, B int
 	// MaxPhases caps Boruvka phases; 0 means 4·ceil(log2 n) + 16.
 	MaxPhases int
+	// WeightOf, when non-nil, replaces the edge weight in the Boruvka
+	// selection order: edges are compared by (WeightOf(e), e) instead of
+	// (EdgeWeight(e), e). Every node must supply the same deterministic
+	// function of shared state — the min-cut tree packing reweights edges by
+	// their accumulated load this way. NodeResult.Weight still reports the
+	// true EdgeWeight total of the chosen tree.
+	WeightOf func(graph.EdgeID) int64
 }
 
 // NodeResult is one node's MST output, matching the problem statement in
@@ -141,12 +148,16 @@ func Phase(ctx *congest.Ctx, info *bfsproto.Info, cfg Config) (*NodeResult, erro
 		}
 
 		// Local minimum outgoing edge under the unique-MST order.
+		weight := ctx.EdgeWeight
+		if cfg.WeightOf != nil {
+			weight = cfg.WeightOf
+		}
 		own := mstVal{valid: false, n: info.Count, m: 2 * info.Count * info.Count}
 		for k, a := range ctx.Neighbors() {
 			if nbrFrag[k] == frag {
 				continue
 			}
-			cand := mstVal{valid: true, w: ctx.EdgeWeight(a.Edge), edge: a.Edge,
+			cand := mstVal{valid: true, w: weight(a.Edge), edge: a.Edge,
 				target: nbrFrag[k], n: own.n, m: own.m}
 			if !own.valid || lessVal(cand, own) {
 				own = cand
