@@ -1,0 +1,132 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/elect"
+	"lcshortcut/internal/graph"
+)
+
+// runElect is the elect subcommand: leader election on a CONGEST network with
+// an optional fault plan — seeded crash-stop failures, message loss and the
+// inbox-reordering adversary. It runs either the flood-max election or the
+// Raft-style heartbeat skeleton, reports the survivors' final view, and fails
+// when -require-agreement is set and the survivors split.
+func runElect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shortcutctl elect", flag.ContinueOnError)
+	var (
+		graphSpec   = fs.String("graph", "grid:12x12", "graph family: grid:WxH | torus:WxH | handled:WxHxG | ring:N | tree:N | er:N,P | lowerbound:MxL | pathpower:N,K")
+		protocol    = fs.String("protocol", "flood", "flood (flood-max election) or raft (heartbeat/term skeleton)")
+		rounds      = fs.Int("rounds", 0, "simulated rounds (0 = protocol default: 2·diameter+8 for flood, 64 for raft)")
+		seed        = fs.Int64("seed", 7, "protocol randomness seed (rank draws, raft timeouts)")
+		crashFrac   = fs.Float64("crash-frac", 0, "fault plan: fraction of nodes that crash-stop")
+		crashWindow = fs.Int("crash-window", 8, "fault plan: crashes land in rounds [1, window]")
+		drop        = fs.Float64("drop", 0, "fault plan: independent per-message loss probability")
+		rotate      = fs.Bool("rotate", false, "fault plan: enable the inbox-rotation scheduler adversary")
+		faultSeed   = fs.Int64("fault-seed", 1, "fault plan seed (independent of -seed: same faults under any protocol randomness)")
+		require     = fs.Bool("require-agreement", false, "exit nonzero unless all surviving nodes agree on the leader")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already reported the problem and usage on stderr.
+		return fmt.Errorf("invalid arguments")
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	g, _, _, _, err := buildGraph(*graphSpec)
+	if err != nil {
+		return err
+	}
+	n := g.NumNodes()
+
+	var plan *congest.FaultPlan
+	dead := map[graph.NodeID]bool{}
+	if *crashFrac > 0 || *drop > 0 || *rotate {
+		plan = &congest.FaultPlan{
+			Crashes:  congest.RandomCrashes(n, *crashFrac, *crashWindow, -1, *faultSeed),
+			DropProb: *drop,
+			Seed:     *faultSeed,
+		}
+		if *rotate {
+			plan.Adversary = congest.AdversaryRotate
+		}
+		for _, cr := range plan.Crashes {
+			dead[cr.Node] = true
+		}
+		fmt.Fprintf(out, "fault plan: %d crashes (frac %g, window %d), drop %g, rotate=%v, seed %d\n",
+			len(plan.Crashes), *crashFrac, *crashWindow, *drop, *rotate, *faultSeed)
+	}
+	skip := func(v graph.NodeID) bool { return dead[v] }
+	opts := congest.Options{Seed: *seed, Faults: plan}
+
+	switch *protocol {
+	case "flood":
+		r := *rounds
+		if r <= 0 {
+			r = 2*g.ApproxDiameter(0) + 8
+		}
+		outc := make([]elect.Outcome, n)
+		stats, err := congest.Run(g, elect.Flood(r, outc), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "flood-max election: n=%d m=%d, %d rounds simulated, %d messages\n",
+			n, g.NumEdges(), stats.Rounds, stats.Messages)
+		leader, ok := elect.Agreed(outc, skip)
+		if !ok {
+			fmt.Fprintf(out, "survivors SPLIT: no unanimous leader among %d live nodes\n", n-len(dead))
+			if *require {
+				return fmt.Errorf("survivors disagree on the leader")
+			}
+			return nil
+		}
+		fmt.Fprintf(out, "leader: node %d (rank %d), unanimous among %d live nodes, last belief change at round %d\n",
+			leader, outc[leader].Rank, n-len(dead), lastChange(outc, skip))
+	case "raft":
+		cfg := elect.RaftConfig{Rounds: *rounds}
+		outc := make([]elect.RaftOutcome, n)
+		stats, err := congest.Run(g, elect.Raft(cfg, outc), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "raft skeleton: n=%d m=%d, %d rounds simulated, %d messages\n",
+			n, g.NumEdges(), stats.Rounds, stats.Messages)
+		ref, ok := elect.RaftAgreed(outc, skip)
+		if !ok {
+			fmt.Fprintf(out, "survivors SPLIT: no unanimous (leader, term) among %d live nodes\n", n-len(dead))
+			if *require {
+				return fmt.Errorf("survivors disagree on the leader")
+			}
+			return nil
+		}
+		elections := 0
+		for v, o := range outc {
+			if !skip(v) {
+				elections += o.Elections
+			}
+		}
+		fmt.Fprintf(out, "leader: node %d at term %d, unanimous among %d live nodes, %d candidacies started\n",
+			ref.Leader, ref.Term, n-len(dead), elections)
+	default:
+		return fmt.Errorf("unknown protocol %q (flood or raft)", *protocol)
+	}
+	return nil
+}
+
+// lastChange returns the latest belief-change round among surviving nodes.
+func lastChange(outc []elect.Outcome, skip func(graph.NodeID) bool) int {
+	last := 0
+	for v, o := range outc {
+		if !skip(v) && o.LastChange > last {
+			last = o.LastChange
+		}
+	}
+	return last
+}

@@ -1,7 +1,9 @@
 // Command shortcutctl builds a graph and partition, constructs a
 // tree-restricted shortcut (centralized reference or the full distributed
 // protocol), and reports its quality parameters. The mincut subcommand runs
-// the tree-packing minimum-cut application instead (see mincut.go).
+// the tree-packing minimum-cut application instead (see mincut.go); the
+// elect subcommand runs leader election under an optional fault plan
+// (see elect.go).
 //
 // Examples:
 //
@@ -10,6 +12,7 @@
 //	shortcutctl -graph handled:16x16x3 -partition voronoi:8 -auto
 //	shortcutctl -graph grid:9x9 -partition snake:1 -render 0
 //	shortcutctl mincut -graph grid:8x8 -trees 3 -mode dist
+//	shortcutctl elect -graph er:200,0.05 -crash-frac 0.2 -drop 0.1 -rotate
 package main
 
 import (
@@ -36,6 +39,8 @@ func main() {
 	var err error
 	if len(args) > 0 && args[0] == "mincut" {
 		err = runMincut(args[1:], os.Stdout)
+	} else if len(args) > 0 && args[0] == "elect" {
+		err = runElect(args[1:], os.Stdout)
 	} else {
 		err = run(args, os.Stdout)
 	}

@@ -14,11 +14,11 @@ import (
 // graph and divide the allocation delta by the extra rounds. Per-run setup
 // (goroutine spawns, pool misses) is identical on both sides and cancels;
 // any genuine per-round allocation shows up ≥ (r2-r1) times.
-func perRoundAllocs(t *testing.T, g *graph.Graph, procFor func(rounds int) congest.Proc) float64 {
+func perRoundAllocs(t *testing.T, g *graph.Graph, opts congest.Options, procFor func(rounds int) congest.Proc) float64 {
 	t.Helper()
 	const r1, r2 = 32, 1032
 	run := func(rounds int) {
-		if _, err := congest.Run(g, procFor(rounds), congest.Options{Seed: 3}); err != nil {
+		if _, err := congest.Run(g, procFor(rounds), opts); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -39,8 +39,44 @@ func TestAllocGuardBroadcast(t *testing.T) {
 	}
 	prev := congest.SetEngine(congest.EngineEventLoop)
 	defer congest.SetEngine(prev)
-	if per := perRoundAllocs(t, gen.Grid(16, 16), engbench.BroadcastProc); per > 0.02 {
+	if per := perRoundAllocs(t, gen.Grid(16, 16), congest.Options{Seed: 3}, engbench.BroadcastProc); per > 0.02 {
 		t.Errorf("broadcast steady state allocates %.3f allocs/round, want 0", per)
+	}
+}
+
+// TestAllocGuardEmptyFaultPlan pins that the fault layer's disabled branches
+// are free: an explicit empty FaultPlan (every fault check compiled in and
+// evaluated, none firing) must keep the broadcast steady state at zero
+// allocations per round, same as the nil-plan fast path.
+func TestAllocGuardEmptyFaultPlan(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineEventLoop)
+	defer congest.SetEngine(prev)
+	opts := congest.Options{Seed: 3, Faults: &congest.FaultPlan{}}
+	if per := perRoundAllocs(t, gen.Grid(16, 16), opts, engbench.BroadcastProc); per > 0.02 {
+		t.Errorf("broadcast with empty fault plan allocates %.3f allocs/round, want 0", per)
+	}
+}
+
+// TestAllocGuardLossyAdversary is the faulty-path bound: a lossy run with the
+// rotating adversary uses the pooled epoch-stamped drop mask and in-place
+// inbox rotation, so even the fully faulty steady state must not allocate per
+// round.
+func TestAllocGuardLossyAdversary(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineEventLoop)
+	defer congest.SetEngine(prev)
+	opts := congest.Options{Seed: 3, Faults: &congest.FaultPlan{
+		DropProb:  0.3,
+		Adversary: congest.AdversaryRotate,
+		Seed:      9,
+	}}
+	if per := perRoundAllocs(t, gen.Grid(16, 16), opts, engbench.BroadcastProc); per > 0.02 {
+		t.Errorf("lossy+adversary steady state allocates %.3f allocs/round, want 0", per)
 	}
 }
 
@@ -87,7 +123,7 @@ func TestAllocGuardPackingTraffic(t *testing.T) {
 	}
 	prev := congest.SetEngine(congest.EngineEventLoop)
 	defer congest.SetEngine(prev)
-	if per := perRoundAllocs(t, gen.Grid(12, 12), packingTrafficProc); per > 0.02 {
+	if per := perRoundAllocs(t, gen.Grid(12, 12), congest.Options{Seed: 3}, packingTrafficProc); per > 0.02 {
 		t.Errorf("packing-traffic steady state allocates %.3f allocs/round, want 0", per)
 	}
 }
@@ -103,7 +139,7 @@ func TestAllocGuardTokenRing(t *testing.T) {
 	defer congest.SetEngine(prev)
 	const n = 64
 	g := gen.Ring(n)
-	if per := perRoundAllocs(t, g, func(rounds int) congest.Proc { return engbench.TokenRingProc(n, rounds) }); per > 0.02 {
+	if per := perRoundAllocs(t, g, congest.Options{Seed: 3}, func(rounds int) congest.Proc { return engbench.TokenRingProc(n, rounds) }); per > 0.02 {
 		t.Errorf("token ring steady state allocates %.3f allocs/round, want 0", per)
 	}
 }

@@ -82,6 +82,13 @@ type Options struct {
 	// Seed derives every node-local random source. Runs with equal seeds are
 	// identical.
 	Seed int64
+	// Faults optionally plugs a deterministic fault plan into the run:
+	// seeded crash-stop node failures, per-message loss and an adversarial
+	// inbox schedule (see FaultPlan). nil selects the process-wide default
+	// installed by SetDefaultFaults (itself nil unless a chaos harness set
+	// one); a nil or empty plan leaves the simulation fault-free and
+	// byte-identical to the pre-fault-layer engine.
+	Faults *FaultPlan
 }
 
 // DefaultMaxRounds is the watchdog bound used when Options.MaxRounds is 0.
@@ -167,6 +174,12 @@ func RunOn(e Engine, g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = DefaultMaxRounds
 	}
+	if opts.Faults == nil {
+		opts.Faults = defaultFaults.Load()
+	}
+	if err := opts.Faults.validate(g.NumNodes()); err != nil {
+		return Stats{}, err
+	}
 	if e == EngineChannel {
 		return runChannel(g, proc, opts)
 	}
@@ -201,6 +214,10 @@ type Ctx struct {
 	lo     int32
 	round  int
 	idBits int
+	// crashAt is the node's scheduled crash-stop round (noCrash when the
+	// fault plan never crashes it): the node behaves normally through round
+	// crashAt-1 and never sends, receives or steps from round crashAt on.
+	crashAt int32
 
 	// Barrier state (event-loop engine).
 	arrival int32
@@ -265,6 +282,9 @@ func (c *Ctx) EdgeWeight(id graph.EdgeID) int64 { return c.g.Edge(id).W }
 // code, surfaced as errors from Run). Protocols on a hot path should resolve
 // the neighbor once with ArcIndex and use SendArc instead.
 func (c *Ctx) Send(to graph.NodeID, p Payload) {
+	if int32(c.round) >= c.crashAt {
+		return // crash-stop: a dead node's sends are lost (and can't violate)
+	}
 	idx := c.ArcIndex(to)
 	if idx == -1 {
 		c.fail(fmt.Errorf("%w: node %d sent to non-neighbor %d in round %d", ErrModelViolation, c.id, to, c.round))
@@ -276,6 +296,9 @@ func (c *Ctx) Send(to graph.NodeID, p Payload) {
 // Neighbors()) for delivery at the next barrier — the O(1) fast path behind
 // Send, enforcing the same per-edge-direction and message-size budgets.
 func (c *Ctx) SendArc(k int, p Payload) {
+	if int32(c.round) >= c.crashAt {
+		return // crash-stop: a dead node's sends are lost (and can't violate)
+	}
 	if uint(k) >= uint(len(c.arcs)) {
 		c.fail(fmt.Errorf("%w: node %d sent on invalid arc index %d (degree %d) in round %d",
 			ErrModelViolation, c.id, k, len(c.arcs), c.round))
@@ -297,6 +320,12 @@ func (c *Ctx) SendArc(k int, p Payload) {
 	}
 	rs.stamp[buf][s] = stamp
 	rs.pay[buf][s] = p
+	// The lossy network still charges the sender: the message consumed its
+	// per-edge budget and counts toward Stats, it just never surfaces in an
+	// inbox (the drop mask hides the slot from both read paths).
+	if rs.dropThresh != 0 && dropped(rs.dropThresh, rs.faultSeed, stamp, s) {
+		rs.dropMask[buf][s] = stamp
+	}
 	c.pMsgs++
 	c.pBits += int64(b)
 	if b > c.pMax {
@@ -309,6 +338,9 @@ func (c *Ctx) SendArc(k int, p Payload) {
 // with the budget checks hoisted out of the loop — the broadcast-flood fast
 // path.
 func (c *Ctx) SendAll(p Payload) {
+	if int32(c.round) >= c.crashAt {
+		return // crash-stop: a dead node's sends are lost (and can't violate)
+	}
 	if c.leg != nil {
 		for i := range c.arcs {
 			c.leg.sendIdx(c, i, p)
@@ -327,12 +359,16 @@ func (c *Ctx) SendAll(p Payload) {
 	if limit := rs.opts.MaxMessageBits; limit > 0 && b > limit {
 		c.fail(fmt.Errorf("%w: node %d sent %d-bit message (budget %d) in round %d", ErrModelViolation, c.id, b, limit, c.round))
 	}
+	thresh := rs.dropThresh
 	for i, s := range rs.rev[c.lo : c.lo+int32(deg)] {
 		if st[s] == stamp {
 			c.fail(fmt.Errorf("%w: node %d sent twice to neighbor %d in round %d", ErrModelViolation, c.id, c.arcs[i].To, c.round))
 		}
 		st[s] = stamp
 		pay[s] = p
+		if thresh != 0 && dropped(thresh, rs.faultSeed, stamp, s) {
+			rs.dropMask[buf][s] = stamp
+		}
 	}
 	c.pMsgs += int64(deg)
 	c.pBits += int64(deg) * int64(b)
@@ -348,6 +384,7 @@ func (c *Ctx) SendAll(p Payload) {
 // start of round r+1. The returned slice is reused: it is valid only until
 // the node's next Step/StepRound.
 func (c *Ctx) StepRound() []Message {
+	c.maybeCrash()
 	if c.leg != nil {
 		return c.leg.step(c)
 	}
@@ -358,6 +395,7 @@ func (c *Ctx) StepRound() []Message {
 // Step is the barrier alone: like StepRound but without materializing the
 // inbox, for protocols that read specific arcs through InboxArc instead.
 func (c *Ctx) Step() {
+	c.maybeCrash()
 	if c.leg != nil {
 		c.leg.step(c)
 		return
@@ -365,11 +403,32 @@ func (c *Ctx) Step() {
 	c.stepBarrier()
 }
 
+// maybeCrash enforces the node's scheduled crash-stop at the barrier ending
+// round crashAt-1: the node arrives as a finished node — its buffered sends
+// from the completed round are still delivered, matching the "final sends"
+// convention — and its goroutine unwinds without ever entering round
+// crashAt. On the fault-free path crashAt is the noCrash sentinel and the
+// check is one never-taken branch.
+func (c *Ctx) maybeCrash() {
+	if int32(c.round)+1 < c.crashAt {
+		return
+	}
+	if c.leg != nil {
+		c.leg.run.yield <- yieldSignal{id: c.id, kind: yieldDone}
+	} else {
+		c.arrive(arriveDone)
+	}
+	panic(errCrashed)
+}
+
 // InboxArc returns the message the neighbor at arc index k sent this round,
 // if any. It reads the mailbox slot directly — no scan, no allocation — and
 // is valid between a Step (or StepRound) and the node's next barrier. An
 // out-of-range index is a model violation, mirroring SendArc.
 func (c *Ctx) InboxArc(k int) (Payload, bool) {
+	if int32(c.round) >= c.crashAt {
+		return nil, false // crash-stop: a dead node's slots stop delivering
+	}
 	if uint(k) >= uint(len(c.arcs)) {
 		c.fail(fmt.Errorf("%w: node %d read invalid arc index %d (degree %d) in round %d",
 			ErrModelViolation, c.id, k, len(c.arcs), c.round))
@@ -384,6 +443,9 @@ func (c *Ctx) InboxArc(k int) (Payload, bool) {
 	buf := stamp & 1
 	s := c.lo + int32(k)
 	if c.run.stamp[buf][s] != stamp {
+		return nil, false
+	}
+	if c.run.dropThresh != 0 && c.run.dropMask[buf][s] == stamp {
 		return nil, false
 	}
 	return c.run.pay[buf][s], true
@@ -415,10 +477,22 @@ func (c *Ctx) gather() []Message {
 	pay := rs.pay[buf]
 	c.inbox = c.inbox[:0]
 	lo := c.lo
-	for _, j := range rs.order[lo : lo+int32(len(c.arcs))] {
-		if s := lo + int32(j); st[s] == stamp {
-			c.inbox = append(c.inbox, Message{From: c.arcs[j].To, Payload: pay[s]})
+	if thresh := rs.dropThresh; thresh != 0 {
+		dm := rs.dropMask[buf]
+		for _, j := range rs.order[lo : lo+int32(len(c.arcs))] {
+			if s := lo + int32(j); st[s] == stamp && dm[s] != stamp {
+				c.inbox = append(c.inbox, Message{From: c.arcs[j].To, Payload: pay[s]})
+			}
 		}
+	} else {
+		for _, j := range rs.order[lo : lo+int32(len(c.arcs))] {
+			if s := lo + int32(j); st[s] == stamp {
+				c.inbox = append(c.inbox, Message{From: c.arcs[j].To, Payload: pay[s]})
+			}
+		}
+	}
+	if rs.adversary == AdversaryRotate {
+		scrambleInbox(rs.faultSeed, c.round, c.id, c.inbox)
 	}
 	return c.inbox
 }
@@ -475,6 +549,16 @@ type runState struct {
 	// simply never match, so nothing is cleared between rounds.
 	stamp [2][]int32
 	pay   [2][]Payload
+	// Fault-layer state (see fault.go). dropMask mirrors the stamp arenas:
+	// a slot whose mask equals the current stamp holds a message the lossy
+	// network swallowed — charged to the sender, invisible to both read
+	// paths. The arenas are grown only for runs whose plan actually drops
+	// (dropThresh != 0) and are epoch-stamped, so nothing is cleared between
+	// rounds; fault-free runs see dropThresh == 0 and skip every check.
+	dropMask   [2][]int32
+	dropThresh uint64
+	faultSeed  int64
+	adversary  Adversary
 	// live lists the nodes still running, ascending; rebuilt in place by the
 	// round leader.
 	live    []int32
@@ -579,8 +663,8 @@ func nodeMain(c *Ctx, proc Proc) {
 	defer c.run.wg.Done()
 	defer func() {
 		if r := recover(); r != nil {
-			if err, ok := r.(error); ok && errors.Is(err, errAbort) {
-				return // engine-initiated unwind
+			if err, ok := r.(error); ok && (errors.Is(err, errAbort) || errors.Is(err, errCrashed)) {
+				return // engine-initiated unwind (abort or scheduled crash-stop)
 			}
 			c.err = fmt.Errorf("congest: node %d panicked: %v", c.id, r)
 			c.arrive(arriveFail)
@@ -609,6 +693,17 @@ func acquireRun(g *graph.Graph, opts Options) *runState {
 		rs.stamp[i] = growInt32(rs.stamp[i], numArcs)
 		rs.pay[i] = growPayload(rs.pay[i], numArcs)
 	}
+	plan := opts.Faults
+	rs.dropThresh = plan.dropThreshold()
+	rs.faultSeed, rs.adversary = 0, AdversaryNone
+	if plan != nil {
+		rs.faultSeed, rs.adversary = plan.Seed, plan.Adversary
+	}
+	if rs.dropThresh != 0 {
+		for i := range rs.dropMask {
+			rs.dropMask[i] = growInt32(rs.dropMask[i], numArcs)
+		}
+	}
 	if cap(rs.arcArena) < numArcs {
 		rs.arcArena = make([]graph.Arc, 0, numArcs)
 	}
@@ -635,6 +730,7 @@ func acquireRun(g *graph.Graph, opts Options) *runState {
 		nd.lo = lo
 		nd.round = 0
 		nd.idBits = idBits
+		nd.crashAt = noCrash
 		nd.arrival = 0
 		nd.err = nil
 		nd.inbox = nd.inbox[:0]
@@ -650,6 +746,13 @@ func acquireRun(g *graph.Graph, opts Options) *runState {
 			nd.park = make(chan struct{}, 1)
 		}
 		rs.live[v] = int32(v)
+	}
+	if plan != nil {
+		for _, cr := range plan.Crashes {
+			if nd := &rs.nodes[cr.Node]; int32(cr.Round) < nd.crashAt {
+				nd.crashAt = int32(cr.Round)
+			}
+		}
 	}
 	rs.pending.Store(int32(n))
 	rs.aborted = false
@@ -670,6 +773,17 @@ func releaseRun(rs *runState) {
 		for k := range pay {
 			pay[k] = nil
 		}
+	}
+	if rs.dropThresh != 0 {
+		// Only a lossy run writes drop-mask stamps; scrub them so a pooled
+		// arena cannot shadow a same-round slot of a later lossy run.
+		for i := range rs.dropMask {
+			dm := rs.dropMask[i]
+			for k := range dm {
+				dm[k] = 0
+			}
+		}
+		rs.dropThresh = 0
 	}
 	n := rs.g.NumNodes()
 	for v := 0; v < n; v++ {

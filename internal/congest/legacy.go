@@ -35,6 +35,9 @@ type yieldSignal struct {
 type outMsg struct {
 	to      graph.NodeID
 	payload Payload
+	// dropped marks a message the fault plan's lossy network swallowed: the
+	// delivery pass still counts it (the sender paid) but never delivers it.
+	dropped bool
 }
 
 // legacyNode is the per-node state of the channel engine, hung off Ctx.leg.
@@ -55,6 +58,13 @@ type legacyRun struct {
 	opts  Options
 	yield chan yieldSignal
 	nodes []*Ctx
+	// Fault-layer state, mirroring runState: drop decisions key on the same
+	// receiver-side arc slot (via the graph's reverse-arc permutation) and
+	// the same hash, so both engines lose exactly the same messages.
+	rev        []int32
+	dropThresh uint64
+	faultSeed  int64
+	adversary  Adversary
 }
 
 // sendIdx buffers a message to the neighbor at arc index idx, enforcing the
@@ -68,7 +78,12 @@ func (ln *legacyNode) sendIdx(c *Ctx, idx int, p Payload) {
 		ln.fail(c, fmt.Errorf("%w: node %d sent %d-bit message (budget %d) in round %d", ErrModelViolation, c.id, p.Bits(), limit, c.round))
 	}
 	ln.sentAt[idx] = c.round + 1
-	ln.out = append(ln.out, outMsg{to: to, payload: p})
+	drop := false
+	if rs := ln.run; rs.dropThresh != 0 {
+		s := rs.rev[c.lo+int32(idx)]
+		drop = dropped(rs.dropThresh, rs.faultSeed, int32(c.round)+1, s)
+	}
+	ln.out = append(ln.out, outMsg{to: to, payload: p, dropped: drop})
 }
 
 // step is the channel-engine barrier: yield to the coordinator, block until
@@ -80,6 +95,9 @@ func (ln *legacyNode) step(c *Ctx) []Message {
 		panic(errAbort)
 	}
 	c.round++
+	if ln.run.adversary == AdversaryRotate {
+		scrambleInbox(ln.run.faultSeed, c.round, c.id, in)
+	}
 	ln.in = in
 	return in
 }
@@ -113,14 +131,23 @@ func runChannel(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 		yield: make(chan yieldSignal, n),
 		nodes: make([]*Ctx, n),
 	}
+	plan := opts.Faults
+	if rs.dropThresh = plan.dropThreshold(); rs.dropThresh != 0 {
+		rs.rev = g.RevArcs()
+	}
+	if plan != nil {
+		rs.faultSeed, rs.adversary = plan.Seed, plan.Adversary
+	}
 	idBits := BitsForID(n)
 	for v := 0; v < n; v++ {
 		rs.nodes[v] = &Ctx{
-			id:     v,
-			g:      g,
-			rng:    rand.New(rand.NewSource(mix(opts.Seed, int64(v)))),
-			arcs:   g.AppendArcs(make([]graph.Arc, 0, g.Degree(v)), v),
-			idBits: idBits,
+			id:      v,
+			g:       g,
+			rng:     rand.New(rand.NewSource(mix(opts.Seed, int64(v)))),
+			arcs:    g.AppendArcs(make([]graph.Arc, 0, g.Degree(v)), v),
+			idBits:  idBits,
+			lo:      g.ArcOffset(v),
+			crashAt: noCrash,
 			leg: &legacyNode{
 				run:    rs,
 				resume: make(chan []Message, 1),
@@ -128,12 +155,19 @@ func runChannel(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 			},
 		}
 	}
+	if plan != nil {
+		for _, cr := range plan.Crashes {
+			if nd := rs.nodes[cr.Node]; int32(cr.Round) < nd.crashAt {
+				nd.crashAt = int32(cr.Round)
+			}
+		}
+	}
 	for v := 0; v < n; v++ {
 		go func(ctx *Ctx) {
 			defer func() {
 				if r := recover(); r != nil {
-					if err, ok := r.(error); ok && errors.Is(err, errAbort) {
-						return // engine-initiated unwind
+					if err, ok := r.(error); ok && (errors.Is(err, errAbort) || errors.Is(err, errCrashed)) {
+						return // engine-initiated unwind (crash already yielded done)
 					}
 					rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d panicked: %v", ctx.id, r)}
 					return
@@ -208,7 +242,11 @@ func coordinate(rs *legacyRun) (Stats, error) {
 		// Deliver: iterate senders in ID order for deterministic inboxes.
 		for id, ctx := range rs.nodes {
 			for _, m := range ctx.leg.out {
-				inboxes[m.to] = append(inboxes[m.to], Message{From: id, Payload: m.payload})
+				// A dropped message is still charged to the sender — Stats
+				// count sends, the model's cost — but never delivered.
+				if !m.dropped {
+					inboxes[m.to] = append(inboxes[m.to], Message{From: id, Payload: m.payload})
+				}
 				stats.Messages++
 				b := m.payload.Bits()
 				stats.TotalBits += int64(b)

@@ -1,0 +1,175 @@
+package elect
+
+import (
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/graph"
+)
+
+// This file is a minimal Raft-style heartbeat/term skeleton adapted to the
+// CONGEST model: terms totally order leadership claims, leaders assert
+// liveness with sequence-stamped heartbeats that flood the graph one hop per
+// round, and followers that stop hearing fresh heartbeats promote themselves
+// with a higher term after a randomized timeout. It is deliberately only the
+// *liveness* half of Raft — there is no quorum voting and no replicated log,
+// so two partitions can each keep a leader (as real Raft minorities cannot).
+// What it demonstrates on the fault layer: a crashed leader is detected and
+// replaced within O(timeout + diameter) rounds, terms are monotone, and the
+// (term, rank, id) total order keeps concurrent candidacies convergent.
+//
+// Like Flood, every transition depends only on the multiset of received
+// messages, never on inbox order, so the scheduler adversary cannot perturb
+// outcomes.
+
+// RaftConfig tunes the skeleton. The zero value picks usable defaults.
+type RaftConfig struct {
+	// Rounds is the total simulated duration (default 64).
+	Rounds int
+	// TimeoutMin is the minimum silence, in rounds, before a follower starts
+	// a candidacy (default 8; must exceed the graph diameter for a stable
+	// fault-free run, since heartbeats propagate one hop per round).
+	TimeoutMin int
+	// TimeoutSpread is the randomized extra silence budget: each node redraws
+	// a timeout in [TimeoutMin, TimeoutMin+TimeoutSpread) whenever it adopts
+	// a view (default 8). Randomization deters simultaneous candidacies.
+	TimeoutSpread int
+}
+
+func (c RaftConfig) withDefaults() RaftConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 64
+	}
+	if c.TimeoutMin <= 0 {
+		c.TimeoutMin = 8
+	}
+	if c.TimeoutSpread <= 0 {
+		c.TimeoutSpread = 8
+	}
+	return c
+}
+
+// view is a leadership claim: a term, the claimant and its candidacy rank.
+// Claims are totally ordered by (term, rank, id), so among candidates of the
+// same term the familiar flood-max argument applies.
+type view struct {
+	term int32
+	rank uint64
+	id   graph.NodeID
+}
+
+func (v view) beats(o view) bool {
+	if v.term != o.term {
+		return v.term > o.term
+	}
+	if v.rank != o.rank {
+		return v.rank > o.rank
+	}
+	return v.id > o.id
+}
+
+// heartbeat is the flooded message: the sender's current view plus the
+// highest heartbeat sequence number it has seen for that view. seq freshness
+// is what proves the leader is still alive — a crashed leader's seq stops
+// advancing everywhere within one eccentricity.
+type heartbeat struct {
+	view
+	seq  int32
+	bits int
+}
+
+func (h heartbeat) Bits() int { return h.bits }
+
+// RaftOutcome is one node's final state.
+type RaftOutcome struct {
+	// Leader and Term are the node's final adopted claim.
+	Leader graph.NodeID
+	Term   int
+	// Elections counts how many candidacies this node itself started.
+	Elections int
+	// Changes counts adoptions of a strictly better claim from the network.
+	Changes int
+}
+
+// RaftAgreed reports whether all non-skipped nodes finished on the same
+// (leader, term) claim.
+func RaftAgreed(out []RaftOutcome, skip func(graph.NodeID) bool) (RaftOutcome, bool) {
+	var ref RaftOutcome
+	seen := false
+	for v, o := range out {
+		if skip != nil && skip(v) {
+			continue
+		}
+		if !seen {
+			ref, seen = o, true
+			continue
+		}
+		if o.Leader != ref.Leader || o.Term != ref.Term {
+			return RaftOutcome{}, false
+		}
+	}
+	return ref, seen
+}
+
+// Raft returns the heartbeat/term skeleton Proc, writing each node's final
+// state into out (indexed by node ID). Round 0 is a universal candidacy —
+// every node claims term 1 with a random rank — after which the protocol
+// self-stabilizes: one claim wins, its holder heartbeats, and any later
+// silence (a crashed leader) triggers re-election at a higher term.
+func Raft(cfg RaftConfig, out []RaftOutcome) congest.Proc {
+	cfg = cfg.withDefaults()
+	return func(ctx *congest.Ctx) error {
+		// 16 term bits + 20 seq bits bound Rounds ≪ 2^16; enough for any
+		// simulation this harness runs, honest about the message width.
+		bits := 16 + 20 + rankBits(ctx.IDBits()) + ctx.IDBits()
+		drawTimeout := func() int { return cfg.TimeoutMin + ctx.Rand().Intn(cfg.TimeoutSpread) }
+		drawRank := func() uint64 { return ctx.Rand().Uint64() >> (64 - uint(rankBits(ctx.IDBits()))) }
+
+		var o RaftOutcome
+		cur := view{term: 1, rank: drawRank(), id: ctx.ID()}
+		o.Elections++
+		seq := int32(0) // freshest heartbeat seq seen for cur
+		stale := 0      // rounds since seq (or cur) advanced
+		timeout := drawTimeout()
+		forward := true // round 0: flood the initial candidacy
+
+		for r := 0; r < cfg.Rounds; r++ {
+			if cur.id == ctx.ID() {
+				// Leader (or candidate believing in itself): mint the next
+				// heartbeat and flood it.
+				seq++
+				ctx.SendAll(heartbeat{view: cur, seq: seq, bits: bits})
+			} else if forward {
+				// Follower with news: forward the freshest claim one hop.
+				ctx.SendAll(heartbeat{view: cur, seq: seq, bits: bits})
+			}
+			forward = false
+
+			fresh := false
+			for _, m := range ctx.StepRound() {
+				h := m.Payload.(heartbeat)
+				switch {
+				case h.view.beats(cur):
+					cur, seq = h.view, h.seq
+					o.Changes++
+					fresh, forward = true, true
+					timeout = drawTimeout()
+				case h.view == cur && h.seq > seq:
+					seq = h.seq
+					fresh, forward = true, true
+				}
+			}
+			if fresh || cur.id == ctx.ID() {
+				stale = 0
+			} else if stale++; stale > timeout {
+				// Silence: the leader is presumed dead. Claim the next term.
+				cur = view{term: cur.term + 1, rank: drawRank(), id: ctx.ID()}
+				seq = 0
+				o.Elections++
+				stale, timeout = 0, drawTimeout()
+				forward = true
+			}
+		}
+		o.Leader, o.Term = cur.id, int(cur.term)
+		out[ctx.ID()] = o
+		return nil
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"lcshortcut/internal/bfsproto"
 	"lcshortcut/internal/congest"
+	"lcshortcut/internal/elect"
 	"lcshortcut/internal/graph"
 	"lcshortcut/internal/mincut"
 	"lcshortcut/internal/scenario"
@@ -131,6 +132,50 @@ func broadcastOn(family string, n int, seed int64) Scenario {
 	}
 }
 
+// faultyBroadcastOn builds the same maximum-traffic flood under a lossy
+// adversarial network: every fault-layer hot path is on (drop hashing on
+// every send, drop-mask maintenance, per-inbox rotation), so the measurement
+// tracks the faulty path's overhead against the fault-free flood recorded
+// next to it.
+func faultyBroadcastOn(family string, n int, seed int64) Scenario {
+	const floodSteps = 96
+	name, g := graphOf(family, n, seed)
+	plan := &congest.FaultPlan{DropProb: 0.2, Adversary: congest.AdversaryRotate, Seed: 11}
+	return Scenario{
+		Name:  "faulty/broadcast-" + name,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1, Faults: plan})
+		},
+	}
+}
+
+// faultyElectOn builds a leader-election workload under combined crash-stop
+// and loss — the first protocol written for the faulty regime, measured end
+// to end (including its per-run outcome slice).
+func faultyElectOn(family string, n int, seed int64) Scenario {
+	const electRounds = 64
+	name, g := graphOf(family, n, seed)
+	var once sync.Once
+	var plan *congest.FaultPlan
+	return Scenario{
+		Name:  "faulty/elect-" + name,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			once.Do(func() {
+				plan = &congest.FaultPlan{
+					Crashes:   congest.RandomCrashes(g.NumNodes(), 0.1, 8, -1, 11),
+					DropProb:  0.1,
+					Adversary: congest.AdversaryRotate,
+					Seed:      11,
+				}
+			})
+			out := make([]elect.Outcome, g.NumNodes())
+			return congest.Run(g, elect.Flood(electRounds, out), congest.Options{Seed: 1, Faults: plan})
+		},
+	}
+}
+
 // bfsOpenOn builds a BFS-opening workload on a registry family.
 func bfsOpenOn(family string, n int, seed int64, heavy bool) Scenario {
 	name, g := graphOf(family, n, seed)
@@ -162,6 +207,14 @@ func Scenarios() []Scenario {
 	for _, family := range []string{"grid", "er-dense", "ba", "geometric", "regular", "hypercube", "caveman", "surface"} {
 		suite = append(suite, broadcastOn(family, floodN, 5))
 	}
+	// Faulty variants: the flood under a lossy adversarial network (every
+	// fault-layer hot path on) and leader election under crash+loss —
+	// tracking the fault layer's overhead next to the fault-free floods.
+	suite = append(suite,
+		faultyBroadcastOn("grid", floodN, 5),
+		faultyBroadcastOn("er-dense", floodN, 5),
+		faultyElectOn("grid", ringN, 5),
+	)
 	ringName, ringGraph := graphOf("ring", ringN, 1)
 	suite = append(suite, Scenario{
 		Name:  "tokenring/" + ringName,

@@ -27,6 +27,14 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("scenario name %q not of the form proto/family-nN", sc.Name)
 			continue
 		}
+		if proto == "faulty" {
+			// Faulty workloads embed the wrapped protocol:
+			// faulty/<proto>-<family>-nN.
+			if _, rest, ok = strings.Cut(rest, "-"); !ok {
+				t.Errorf("scenario name %q not of the form faulty/proto-family-nN", sc.Name)
+				continue
+			}
+		}
 		family, _, ok := strings.Cut(rest, "-n")
 		if !ok {
 			t.Errorf("scenario name %q lacks the -n<nodes> suffix", sc.Name)

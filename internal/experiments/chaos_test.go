@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"lcshortcut/internal/congest"
+)
+
+// TestChaosEmptyPlanGoldenIdentity is the differential chaos sweep: it
+// installs an explicit empty FaultPlan as the process-wide default — so every
+// simulation in the registry that would run fault-free instead runs through
+// the fault layer with all faults disabled — and requires the full golden
+// document to stay byte-identical to the committed baseline. This proves the
+// fault layer is a true no-op when disabled: every drop check, crash check
+// and adversary hook executes and changes nothing.
+func TestChaosEmptyPlanGoldenIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep reruns the full short registry; skipped under -short")
+	}
+	f, err := os.Open("testdata/golden_short.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	baseline, err := ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(baseline)
+	var want bytes.Buffer
+	if err := WriteJSON(&want, baseline); err != nil {
+		t.Fatal(err)
+	}
+	prev := congest.SetDefaultFaults(&congest.FaultPlan{})
+	defer congest.SetDefaultFaults(prev)
+	got := encodeRun(t, 1)
+	if !bytes.Equal(want.Bytes(), got) {
+		t.Fatal("registry output drifted under the empty FaultPlan — the disabled fault layer is not a no-op")
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"lcshortcut/internal/bfsproto"
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/elect"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/scenario"
+)
+
+// FT1 is the fault-tolerance sweep (FT to keep clear of F1, the Figure 1
+// reproduction): it reruns the engine's three communication workloads — rumor
+// broadcast, the BFS opening phase, and flood-max leader election — across
+// the scenario registry under three network regimes:
+//
+//   - fault-free: the baseline every bound in this repo is stated for;
+//   - crashy:     ~15% of nodes crash-stop inside the first 5 rounds
+//     (the broadcast source, node 0, is spared so coverage stays defined);
+//   - lossy:      every message is dropped independently with probability
+//     15%, and the scheduler adversary rotates inbox order.
+//
+// The point of the table is the *blowup*: faulty rows are measured against
+// the fault-free baseline in the same rows, not against a theorem. Bounds are
+// therefore only checked on fault-free rows — protocols without a failure
+// detector (BFS opening) are expected to fail loudly (watchdog) under faults,
+// and that observed status is part of the record.
+
+// ft1Regimes: the three network regimes, in presentation order. plan is
+// size-dependent because crash schedules name concrete nodes.
+var ft1Regimes = []struct {
+	name string
+	plan func(n int) *congest.FaultPlan
+}{
+	{"fault-free", func(int) *congest.FaultPlan { return nil }},
+	{"crashy", func(n int) *congest.FaultPlan {
+		return &congest.FaultPlan{Crashes: congest.RandomCrashes(n, ft1CrashFrac, ft1CrashWindow, 0, ft1Seed), Seed: ft1Seed}
+	}},
+	{"lossy", func(int) *congest.FaultPlan {
+		return &congest.FaultPlan{DropProb: ft1DropProb, Adversary: congest.AdversaryRotate, Seed: ft1Seed}
+	}},
+}
+
+const (
+	ft1Seed        = 1016 // plan seed (PODC'16)
+	ft1CrashFrac   = 0.15 // crashy: per-node crash probability
+	ft1CrashWindow = 5    // crashy: crashes land in rounds [1, 5]
+	ft1DropProb    = 0.15 // lossy: per-message drop probability
+)
+
+// ft1Beat is the 1-bit rumor payload.
+type ft1Beat struct{}
+
+func (ft1Beat) Bits() int { return 1 }
+
+var expFT1 = &Experiment{
+	ID:    "FT1",
+	Title: "fault injection — broadcast, BFS opening and leader election under crash-stop and lossy regimes across every graph family",
+	Ref:   "§2 CONGEST model, relaxed per ROADMAP item 3 (crash-stop nodes, lossy links, adversarial inbox order)",
+	Bound: "on fault-free rows: the rumor covers all n nodes within the BFS lower-bound distance, the opening phase succeeds, and election is unanimous; faulty rows record the measured degradation (coverage loss, watchdog aborts, message blowup) and are not bound-checked",
+	Grid:  ft1Axis,
+	Run:   runFT1,
+}
+
+func ft1Axis(short bool) []GridAxis {
+	ax := scenAxis(short)
+	regimes := GridAxis{Name: "regime"}
+	for _, reg := range ft1Regimes {
+		regimes.Values = append(regimes.Values, reg.name)
+	}
+	return append(ax, regimes)
+}
+
+// ft1Broadcast floods a rumor from node 0 for a fixed round budget and
+// reports how far and how fast it spread: heardAt[v] is the round node v
+// first heard (-1 if never, or if v crashed before finishing).
+func ft1Broadcast(rc *RunContext, g *graph.Graph, budget int, plan *congest.FaultPlan) (heardAt []int, stats congest.Stats, err error) {
+	heardAt = make([]int, g.NumNodes())
+	for v := range heardAt {
+		heardAt[v] = -1
+	}
+	stats, err = rc.Run(g, func(ctx *congest.Ctx) error {
+		knows, at := ctx.ID() == 0, 0
+		for r := 0; r < budget; r++ {
+			if knows {
+				ctx.SendAll(ft1Beat{})
+			}
+			if len(ctx.StepRound()) > 0 && !knows {
+				knows, at = true, r+1
+			}
+		}
+		if knows {
+			heardAt[ctx.ID()] = at
+		}
+		return nil
+	}, congest.Options{Seed: 1, Faults: plan})
+	return heardAt, stats, err
+}
+
+// runFT1 sweeps the registry across the three regimes. Simulation errors on
+// faulty rows are data (the BFS watchdog firing is the expected failure
+// mode); errors on fault-free rows abort the experiment.
+func runFT1(rc *RunContext) (*Table, error) {
+	t := &Table{
+		Header: []string{"family", "n", "regime", "alive", "bc_cover", "bc_rounds", "bc_msgs", "bfs", "bfs_msgs", "el_agree", "el_msgs", "ok?"},
+	}
+	for _, s := range scenario.All() {
+		for _, size := range scenSizes(s, rc.Short) {
+			g := s.Build(size, 1)
+			n := g.NumNodes()
+			d := g.ApproxDiameter(0)
+			budget := 2*d + 8
+			for _, reg := range ft1Regimes {
+				plan := reg.plan(n)
+				faultFree := plan == nil
+				dead := map[graph.NodeID]bool{}
+				if plan != nil {
+					for _, cr := range plan.Crashes {
+						dead[cr.Node] = true
+					}
+				}
+				alive := n - len(dead)
+
+				heardAt, bcStats, err := ft1Broadcast(rc, g, budget, plan)
+				if err != nil {
+					return nil, fmt.Errorf("%s/n=%d/%s: broadcast: %w", s.Name, size, reg.name, err)
+				}
+				covered, coverR := 0, -1
+				for v, at := range heardAt {
+					if dead[v] || at < 0 {
+						continue
+					}
+					covered++
+					if at > coverR {
+						coverR = at
+					}
+				}
+
+				// BFS opening under a tight watchdog: a protocol with no
+				// failure detector must fail loudly, never hang or corrupt.
+				bfsStatus := "ok"
+				_, bfsStats, err := bfsproto.Run(g, 0, 7, congest.Options{MaxRounds: 4*(d+2) + 8, Faults: plan})
+				rc.Record(bfsStats)
+				switch {
+				case err == nil:
+				case errors.Is(err, congest.ErrMaxRounds):
+					bfsStatus = "watchdog"
+				default:
+					bfsStatus = "error"
+				}
+				if faultFree && bfsStatus != "ok" {
+					return nil, fmt.Errorf("%s/n=%d/%s: bfs: %w", s.Name, size, reg.name, err)
+				}
+
+				out := make([]elect.Outcome, n)
+				elStats, err := rc.Run(g, elect.Flood(budget, out), congest.Options{Seed: 2, Faults: plan})
+				if err != nil {
+					return nil, fmt.Errorf("%s/n=%d/%s: elect: %w", s.Name, size, reg.name, err)
+				}
+				_, agreed := elect.Agreed(out, func(v graph.NodeID) bool { return dead[v] })
+				elStr := "agree"
+				if !agreed {
+					elStr = "split"
+				}
+
+				okCell := "-"
+				if faultFree {
+					okCell = okStr(covered == n && coverR >= 0 && coverR <= d && bfsStatus == "ok" && agreed)
+				}
+				t.Rows = append(t.Rows, []string{
+					s.Name, itoa(n), reg.name, itoa(alive),
+					itoa(covered), itoa(coverR), i64(bcStats.Messages),
+					bfsStatus, i64(bfsStats.Messages),
+					elStr, i64(elStats.Messages),
+					okCell,
+				})
+			}
+		}
+	}
+	return t, nil
+}

@@ -21,7 +21,8 @@ func axis(name string, values ...string) GridAxis { return GridAxis{Name: name, 
 // theorem it reproduces, the parameter grid it sweeps, the bound it checks —
 // plus the run function that regenerates its table.
 type Experiment struct {
-	// ID is the table identifier (E1…E9, F1). Unique within the registry.
+	// ID is the table identifier (E1…E9, F1, S1/S2, M1, FT1). Unique within
+	// the registry.
 	ID string
 	// Title is the one-line table caption.
 	Title string
@@ -144,11 +145,11 @@ func Select(ids []string) ([]*Experiment, error) {
 // Package-level vars are initialized before init functions run, so the
 // registration order here — not file order — defines presentation order:
 // the paper's tables E1…E9 and F1, then the scenario-registry sweeps S1/S2,
-// then the min-cut application sweep M1.
+// then the min-cut application sweep M1 and the fault-injection sweep FT1.
 func init() {
 	for _, e := range []*Experiment{
 		expE1, expE2, expE3, expE4, expE5, expE6, expE7, expE8, expE9, expF1,
-		expS1, expS2, expM1,
+		expS1, expS2, expM1, expFT1,
 	} {
 		Register(e)
 	}
