@@ -29,6 +29,24 @@ func BenchmarkCongest(b *testing.B) {
 		if sc.Heavy && testing.Short() {
 			continue
 		}
+		if len(sc.Variants) > 0 {
+			// Variant-bearing scenarios (the findshortcut construction) are
+			// engine-independent: run each variant once, no engine loop.
+			for _, v := range sc.Variants {
+				v := v
+				b.Run(sc.Name+"/"+v.Name, func(b *testing.B) {
+					g := sc.Graph()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := v.Run(g); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+			continue
+		}
 		for _, eng := range []struct {
 			name string
 			e    congest.Engine

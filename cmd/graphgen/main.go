@@ -60,7 +60,7 @@ func run() error {
 		}
 	}
 	if *weights > 0 {
-		gen.WithRandomWeights(g, *seed, *weights)
+		g = gen.WithRandomWeights(g, *seed, *weights)
 	}
 	if *dot {
 		emitDOT(g)

@@ -53,14 +53,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("shortcutctl", flag.ContinueOnError)
 	var (
-		graphSpec = fs.String("graph", "grid:12x12", "graph family: grid:WxH | torus:WxH | handled:WxHxG | ring:N | tree:N | er:N,P | lowerbound:MxL | pathpower:N,K")
-		partSpec  = fs.String("partition", "voronoi:6", "partition: voronoi:N | columns | snake:N | combs | singletons | whole | paths (lowerbound only)")
-		mode      = fs.String("mode", "central", "central (reference algorithms) or dist (full CONGEST protocol)")
-		cFlag     = fs.Int("c", 0, "witness congestion (0 = use canonical witness c*)")
-		bFlag     = fs.Int("b", 1, "witness block parameter")
-		auto      = fs.Bool("auto", false, "unknown parameters: Appendix A doubling search")
-		seed      = fs.Int64("seed", 7, "shared-randomness seed")
-		render    = fs.Int("render", -1, "render the block decomposition of this part (grids only)")
+		graphSpec   = fs.String("graph", "grid:12x12", "graph family: grid:WxH | torus:WxH | handled:WxHxG | ring:N | tree:N | er:N,P | lowerbound:MxL | pathpower:N,K")
+		partSpec    = fs.String("partition", "voronoi:6", "partition: voronoi:N | columns | snake:N | combs | singletons | whole | paths (lowerbound only)")
+		mode        = fs.String("mode", "central", "central (reference algorithms) or dist (full CONGEST protocol)")
+		cFlag       = fs.Int("c", 0, "witness congestion (0 = use canonical witness c*)")
+		bFlag       = fs.Int("b", 1, "witness block parameter")
+		auto        = fs.Bool("auto", false, "unknown parameters: Appendix A doubling search")
+		seed        = fs.Int64("seed", 7, "shared-randomness seed")
+		workersFlag = fs.Int("workers", 1, "construction workers for central modes (0 = GOMAXPROCS; the output is identical for every value)")
+		render      = fs.Int("render", -1, "render the block decomposition of this part (grids only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -96,14 +97,14 @@ func run(args []string, out io.Writer) error {
 	var s *core.Shortcut
 	switch {
 	case *mode == "central" && *auto:
-		ar, err := core.FindShortcutAuto(tr, p, *seed, false)
+		ar, err := core.FindShortcutAuto(tr, p, *seed, false, *workersFlag)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "doubling settled at est=%d after %d failed probes\n", ar.EstC, ar.Probes)
 		s = ar.S
 	case *mode == "central":
-		fr, err := core.FindShortcut(tr, p, core.FindConfig{C: c, B: *bFlag, Seed: *seed})
+		fr, err := core.FindShortcut(tr, p, core.FindConfig{C: c, B: *bFlag, Seed: *seed, Workers: *workersFlag})
 		if err != nil {
 			return err
 		}

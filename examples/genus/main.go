@@ -34,7 +34,7 @@ func main() {
 		tr := tree.BFSTree(in.g, 0)
 		// No embedding anywhere: the doubling search discovers workable
 		// parameters from scratch (Appendix A).
-		ar, err := core.FindShortcutAuto(tr, p, 31, false)
+		ar, err := core.FindShortcutAuto(tr, p, 31, false, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -245,7 +245,7 @@ func TestFindShortcutIterationBudgetFailure(t *testing.T) {
 func TestFindShortcutAuto(t *testing.T) {
 	for _, in := range testInstances(t) {
 		t.Run(in.name, func(t *testing.T) {
-			ar, err := FindShortcutAuto(in.t, in.p, 21, true)
+			ar, err := FindShortcutAuto(in.t, in.p, 21, true, 1)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -31,19 +31,24 @@ const DefaultGamma = 4
 // randomized O(D·log n + c)-round core subroutine. Each part becomes active
 // with probability p = γ·ln(n)/(2c) using shared randomness; the bottom-up
 // pass propagates only active part IDs and declares an edge unusable when at
-// least 4c·p active parts want it. A second pass then assigns every usable
-// edge all (active or not) parts it can see.
+// least 4c·p active parts want it. The assignment pass then gives every
+// usable edge all (active or not) parts it can see — realized here as
+// per-part root walks on the pooled construction scratch (see cscratch.go),
+// which produce exactly the bottom-up assignment.
 //
 // Guarantees (Lemma 5), given that a T-restricted shortcut with congestion c
 // and block parameter b exists: shortcut-congestion ≤ 8c w.h.p. and at least
 // half of the remaining parts end with block count ≤ 3b.
 func CoreFast(t *tree.Tree, p *partition.Partition, cfg FastConfig) *CoreResult {
-	return coreFast(t, p, cfg, &runScratch{})
+	cs := getConstruct()
+	defer putConstruct(cs)
+	cs.runFast(t, p, cfg, 1)
+	return cs.sealResult(t, p, true)
 }
 
-// coreFast is CoreFast with an explicit scratch, so FindShortcut's iteration
-// loop can reuse one buffer set across its core calls.
-func coreFast(t *tree.Tree, p *partition.Partition, cfg FastConfig, rs *runScratch) *CoreResult {
+// runFast executes both passes of Algorithm 2 into the scratch, leaving
+// partEdges/blockCnt/unusable/active populated for the walked parts.
+func (cs *constructScratch) runFast(t *tree.Tree, p *partition.Partition, cfg FastConfig, workers int) {
 	if cfg.C < 1 {
 		panic(fmt.Sprintf("core: CoreFast needs c >= 1, got %d", cfg.C))
 	}
@@ -51,62 +56,27 @@ func coreFast(t *tree.Tree, p *partition.Partition, cfg FastConfig, rs *runScrat
 	if gamma == 0 {
 		gamma = DefaultGamma
 	}
-	n := t.Graph().NumNodes()
+	g := t.Graph()
+	n := g.NumNodes()
 	prob := gamma * math.Log(float64(n)+2) / (2 * float64(cfg.C))
 	if prob > 1 {
 		prob = 1
 	}
 	threshold := 4 * float64(cfg.C) * prob
 
-	active := make([]bool, p.NumParts())
-	for i := range active {
-		if cfg.Remaining != nil && !cfg.Remaining[i] {
-			continue
-		}
-		active[i] = rnd.Bernoulli(cfg.Seed, int64(i), prob)
+	if cap(cs.active) < p.NumParts() {
+		cs.active = make([]bool, p.NumParts())
+	}
+	cs.active = cs.active[:p.NumParts()]
+	for i := range cs.active {
+		cs.active[i] = (cfg.Remaining == nil || cfg.Remaining[i]) && rnd.Bernoulli(cfg.Seed, int64(i), prob)
 	}
 
-	s := NewShortcut(t, p)
-	res := &CoreResult{S: s, Unusable: make([]bool, t.Graph().NumEdges()), Active: active}
-	order := t.BFSOrder()
-
-	// Pass 1 (Algorithm 2, steps 1-2): determine unusable edges from the
-	// sampled part IDs.
-	lists := rs.listsFor(n)
-	for k := len(order) - 1; k >= 0; k-- {
-		v := order[k]
-		lv := gatherList(t, p, v, lists, res.Unusable, cfg.Remaining, active)
-		lists[v] = nil
-		if v == t.Root() {
-			continue
-		}
-		if float64(len(lv)) >= threshold {
-			res.Unusable[t.ParentEdge(v)] = true
-			continue
-		}
-		lists[v] = lv
-	}
-
-	// Pass 2 (steps 3-5): route every part ID up to the first unusable edge,
-	// assigning usable edges everything they can see.
-	for i := range lists {
-		lists[i] = nil
-	}
-	for k := len(order) - 1; k >= 0; k-- {
-		v := order[k]
-		qv := gatherList(t, p, v, lists, res.Unusable, cfg.Remaining, nil)
-		lists[v] = nil
-		if v == t.Root() {
-			continue
-		}
-		e := t.ParentEdge(v)
-		if res.Unusable[e] {
-			continue
-		}
-		if len(qv) > 0 {
-			s.SetParts(e, qv)
-		}
-		lists[v] = qv
-	}
-	return res
+	cs.prepare(n, g.NumEdges(), p.NumParts())
+	// Pass 1 (Algorithm 2, steps 1-2): unusable ⇔ |L_v| ≥ threshold over
+	// active parts only, so gathering may stop at ceil(threshold) parts.
+	cs.passUnusable(t, p, int(math.Ceil(threshold))-1, cfg.Remaining, cs.active)
+	// Pass 2 (steps 3-5): route every remaining part up to the first
+	// unusable edge, assigning usable edges everything they can see.
+	cs.walkParts(t, p, cfg.Remaining, workers)
 }

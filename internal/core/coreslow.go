@@ -25,6 +25,13 @@ type CoreResult struct {
 // it assigns each edge to every part it can see, unless more than 2c parts
 // try to use it — then the edge is unusable and blocks visibility upward.
 //
+// The implementation is the two-pass construction on a pooled
+// constructScratch: pass 1 computes the unusable bitmap bottom-up with
+// stamp-deduplicated gathering capped at 2c+1 distinct parts, pass 2 assigns
+// each part its edges by walking root paths (see cscratch.go). Outputs are
+// identical to the textbook bottom-up assignment: an edge (v, parent) ends in
+// H_i exactly when some u ∈ P_i below it reaches it over usable edges.
+//
 // Guarantees (Lemma 7), given that a T-restricted shortcut with congestion c
 // and block parameter b exists: the result has shortcut-congestion ≤ 2c and
 // at least half of the parts have block count ≤ 3b.
@@ -32,84 +39,32 @@ type CoreResult struct {
 // remaining, when non-nil, restricts the run to the parts it marks true;
 // other parts are treated as nonexistent (used by FindShortcut iterations).
 func CoreSlow(t *tree.Tree, p *partition.Partition, c int, remaining []bool) *CoreResult {
-	return coreSlow(t, p, c, remaining, &runScratch{})
+	cs := getConstruct()
+	defer putConstruct(cs)
+	cs.runSlow(t, p, c, remaining, 1)
+	return cs.sealResult(t, p, false)
 }
 
-// coreSlow is CoreSlow with an explicit scratch, so FindShortcut's iteration
-// loop can reuse one buffer set across its core calls.
-func coreSlow(t *tree.Tree, p *partition.Partition, c int, remaining []bool, rs *runScratch) *CoreResult {
+// runSlow executes both passes of Algorithm 1 into the scratch, leaving
+// partEdges/blockCnt/unusable populated for the walked parts.
+func (cs *constructScratch) runSlow(t *tree.Tree, p *partition.Partition, c int, remaining []bool, workers int) {
 	if c < 1 {
 		panic(fmt.Sprintf("core: CoreSlow needs c >= 1, got %d", c))
 	}
-	s := NewShortcut(t, p)
-	res := &CoreResult{S: s, Unusable: make([]bool, t.Graph().NumEdges())}
-	lists := rs.listsFor(t.Graph().NumNodes())
-	order := t.BFSOrder()
-	for k := len(order) - 1; k >= 0; k-- {
-		v := order[k]
-		lv := gatherList(t, p, v, lists, res.Unusable, remaining, nil)
-		lists[v] = nil // children lists were merged; drop them
-		if v == t.Root() {
-			continue
-		}
-		e := t.ParentEdge(v)
-		if len(lv) > 2*c {
-			res.Unusable[e] = true
-			continue
-		}
-		if len(lv) > 0 {
-			s.SetParts(e, lv)
-		}
-		lists[v] = lv
+	g := t.Graph()
+	cs.prepare(g.NumNodes(), g.NumEdges(), p.NumParts())
+	cs.passUnusable(t, p, 2*c, remaining, nil)
+	cs.walkParts(t, p, remaining, workers)
+}
+
+// sealResult copies the scratch state into a caller-owned CoreResult.
+func (cs *constructScratch) sealResult(t *tree.Tree, p *partition.Partition, withActive bool) *CoreResult {
+	res := &CoreResult{
+		S:        sealShortcut(t, p, cs.partEdges),
+		Unusable: append([]bool(nil), cs.unusable...),
+	}
+	if withActive {
+		res.Active = append([]bool(nil), cs.active...)
 	}
 	return res
-}
-
-// gatherList computes L_v: the sorted union of the part ID of v (when
-// covered, remaining, and — when activeOnly is non-nil — active) with the
-// lists propagated over v's usable child edges. Child lists are read from
-// lists[child].
-func gatherList(t *tree.Tree, p *partition.Partition, v int, lists [][]int, unusable []bool, remaining, activeOnly []bool) []int {
-	var lv []int
-	if i := p.Part(v); i != partition.None && (remaining == nil || remaining[i]) && (activeOnly == nil || activeOnly[i]) {
-		lv = append(lv, i)
-	}
-	for _, ch := range t.Children(v) {
-		if unusable[t.ParentEdge(ch)] {
-			continue
-		}
-		lv = mergeSorted(lv, lists[ch])
-	}
-	return lv
-}
-
-// mergeSorted returns the sorted union of two sorted unique int slices.
-func mergeSorted(a, b []int) []int {
-	if len(b) == 0 {
-		return a
-	}
-	if len(a) == 0 {
-		out := make([]int, len(b))
-		copy(out, b)
-		return out
-	}
-	out := make([]int, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"lcshortcut/internal/graph"
 	"lcshortcut/internal/partition"
@@ -27,6 +28,13 @@ type FindConfig struct {
 	// 4·ceil(log2 N) + 8. Exceeding it returns ErrIterationBudget, which the
 	// Appendix A doubling driver uses as its failure signal.
 	MaxIterations int
+	// Workers is the per-part walk parallelism of the construction: 1 (or
+	// negative) runs sequentially, 0 uses GOMAXPROCS, k > 1 a bounded pool
+	// of k workers. The result is byte-identical for every value — each
+	// part's walk is a pure function of the shared pass-1 state, outputs go
+	// to per-part slots, and all merges are ordered by part ID (the
+	// determinism-under-parallelism contract; see DESIGN.md).
+	Workers int
 }
 
 // FindResult is the output of FindShortcut.
@@ -52,6 +60,11 @@ var ErrIterationBudget = errors.New("core: FindShortcut exceeded its iteration b
 // CoreSlow, w.h.p. for CoreFast), so O(log N) iterations suffice and the
 // final shortcut has block parameter ≤ 3B and shortcut-congestion
 // O(C·log N).
+//
+// The loop runs entirely on a pooled construction scratch: block counts come
+// out of the per-part walks for free, good parts are adopted by copying
+// their flat edge lists, and the result Shortcut is sealed once at the end
+// (per-edge part lists emerge sorted from the part-ordered counting pass).
 func FindShortcut(t *tree.Tree, p *partition.Partition, cfg FindConfig) (*FindResult, error) {
 	if cfg.C < 1 || cfg.B < 1 {
 		return nil, fmt.Errorf("core: FindShortcut needs C,B >= 1, got C=%d B=%d", cfg.C, cfg.B)
@@ -61,54 +74,52 @@ func FindShortcut(t *tree.Tree, p *partition.Partition, cfg FindConfig) (*FindRe
 	if budget == 0 {
 		budget = 4*ceilLog2(n) + 8
 	}
-	result := &FindResult{S: NewShortcut(t, p)}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	result := &FindResult{}
 	remaining := make([]bool, n)
 	for i := range remaining {
 		remaining[i] = true
 	}
-	rs := &runScratch{}
-	goodNow := make([]bool, n)
+	cs := getConstruct()
+	defer putConstruct(cs)
+	final := make([][]int32, n)
+	var finalArena []int32
 	left := n
 	for left > 0 {
 		if result.Iterations >= budget {
+			result.S = sealShortcut(t, p, final)
 			return result, fmt.Errorf("%w: %d parts unresolved after %d iterations (C=%d B=%d)",
 				ErrIterationBudget, left, result.Iterations, cfg.C, cfg.B)
 		}
-		var cr *CoreResult
 		if cfg.UseSlow {
-			cr = coreSlow(t, p, cfg.C, remaining, rs)
+			cs.runSlow(t, p, cfg.C, remaining, workers)
 		} else {
-			cr = coreFast(t, p, FastConfig{
+			cs.runFast(t, p, FastConfig{
 				C:         cfg.C,
 				Seed:      cfg.Seed + int64(result.Iterations),
 				Gamma:     cfg.Gamma,
 				Remaining: remaining,
-			}, rs)
+			}, workers)
 		}
-		counts := blockCounts(cr.S, remaining, rs)
 		good := 0
-		for i := range goodNow {
-			goodNow[i] = false
-		}
 		for i := 0; i < n; i++ {
-			if remaining[i] && counts[i] <= 3*cfg.B {
-				goodNow[i] = true
+			if remaining[i] && cs.blockCnt[i] <= 3*cfg.B {
 				remaining[i] = false
 				good++
-			}
-		}
-		// Adopt the good parts' subgraphs into the final shortcut.
-		for e, parts := range cr.S.edgeParts {
-			for _, i := range parts {
-				if goodNow[i] {
-					result.S.Assign(e, i)
-				}
+				// Adopt the good part's subgraph into the final shortcut.
+				start := len(finalArena)
+				finalArena = append(finalArena, cs.partEdges[i]...)
+				final[i] = finalArena[start:len(finalArena):len(finalArena)]
 			}
 		}
 		left -= good
 		result.Iterations++
 		result.GoodPerIteration = append(result.GoodPerIteration, good)
 	}
+	result.S = sealShortcut(t, p, final)
 	return result, nil
 }
 
@@ -129,7 +140,10 @@ type AutoResult struct {
 // witness guarantees a (c*, 1) shortcut exists, the search terminates by
 // est = 2·c* at the latest; it often succeeds much earlier, finding shortcuts
 // better than any a-priori bound — the Appendix's closing observation.
-func FindShortcutAuto(t *tree.Tree, p *partition.Partition, seed int64, useSlow bool) (*AutoResult, error) {
+//
+// workers is forwarded to FindConfig.Workers (0 = GOMAXPROCS, 1 =
+// sequential); it cannot change the output.
+func FindShortcutAuto(t *tree.Tree, p *partition.Partition, seed int64, useSlow bool, workers int) (*AutoResult, error) {
 	n := t.Graph().NumNodes()
 	probes := 0
 	for est := 1; est <= 2*n; est *= 2 {
@@ -139,6 +153,7 @@ func FindShortcutAuto(t *tree.Tree, p *partition.Partition, seed int64, useSlow 
 			Seed:          seed + int64(1000*probes),
 			UseSlow:       useSlow,
 			MaxIterations: ceilLog2(p.NumParts()) + 6,
+			Workers:       workers,
 		})
 		if err == nil {
 			return &AutoResult{FindResult: fr, EstC: est, EstB: est, Probes: probes}, nil
@@ -162,18 +177,19 @@ func FindShortcutAuto(t *tree.Tree, p *partition.Partition, seed int64, useSlow 
 //
 // where touched(i) counts vertices with an incident H_i edge (components of
 // a forest = vertices − edges) and isolated(i) counts P_i vertices with no
-// incident H_i edge. The general Shortcut.BlockCount does not need the
-// precondition and is used to cross-check this in tests.
+// incident H_i edge. The construction computes the same quantity inline in
+// its per-part walks (constructScratch.walkOne); this helper recomputes it
+// from a sealed Shortcut so tests can cross-check both against the general
+// Shortcut.BlockCount, which needs no precondition.
 func blockCountsCoreOutput(s *Shortcut, remaining []bool) []int {
-	// The scratch is function-local, so its counts buffer is caller-owned.
-	return blockCounts(s, remaining, &runScratch{})
-}
-
-// blockCounts is blockCountsCoreOutput writing into rs's buffers; the
-// returned slice is owned by rs and valid until its next use.
-func blockCounts(s *Shortcut, remaining []bool, rs *runScratch) []int {
 	nParts := s.p.NumParts()
-	edgeCnt, touched, isolated, stamp := rs.partCounters(nParts)
+	edgeCnt := make([]int, nParts)
+	touched := make([]int, nParts)
+	isolated := make([]int, nParts)
+	stamp := make([]int, nParts)
+	for i := range stamp {
+		stamp[i] = -1
+	}
 	for _, parts := range s.edgeParts {
 		for _, i := range parts {
 			edgeCnt[i]++
@@ -199,7 +215,7 @@ func blockCounts(s *Shortcut, remaining []bool, rs *runScratch) []int {
 			isolated[i]++
 		}
 	}
-	out := rs.countsFor(nParts)
+	out := make([]int, nParts)
 	for i := range out {
 		if remaining == nil || remaining[i] {
 			out[i] = touched[i] - edgeCnt[i] + isolated[i]

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/tree"
+)
+
+// blocksSnapshot deep-copies every part's block decomposition.
+func blocksSnapshot(s *Shortcut) [][]Block {
+	out := make([][]Block, s.Partition().NumParts())
+	for i := range out {
+		for _, b := range s.Blocks(i) {
+			nodes := append([]int(nil), b.Nodes...)
+			out[i] = append(out[i], Block{Root: b.Root, Nodes: nodes})
+		}
+	}
+	return out
+}
+
+// TestBlocksMemoized pins the sort-on-read memoization: repeated quality
+// queries return the identical cached decomposition (same backing array, no
+// recompute), queries leave results unchanged, and any mutation invalidates
+// the cache so post-mutation queries match a freshly built shortcut.
+func TestBlocksMemoized(t *testing.T) {
+	g := gen.Grid(14, 14)
+	tr := tree.BFSTree(g, 0)
+	p := partition.Voronoi(g, 9, 2)
+	fr, err := FindShortcut(tr, p, FindConfig{C: 8, B: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fr.S
+
+	want := blocksSnapshot(s)
+	for i := 0; i < p.NumParts(); i++ {
+		b1 := s.Blocks(i)
+		b2 := s.Blocks(i)
+		if len(b1) > 0 && &b1[0] != &b2[0] {
+			t.Errorf("part %d: repeated Blocks call recomputed instead of returning the cache", i)
+		}
+		e1 := s.EdgesOf(i)
+		if len(e1) > 0 {
+			e1[0] = -1 // EdgesOf returns a copy; corrupting it must not leak back
+		}
+	}
+	// Interleave the other quality queries, then confirm nothing drifted.
+	s.Measure()
+	s.Congestion()
+	s.BlockParameter()
+	if got := blocksSnapshot(s); !reflect.DeepEqual(got, want) {
+		t.Fatal("repeated quality queries changed Blocks output")
+	}
+
+	// Mutate: route every part of some assigned edge over a second edge too,
+	// then compare every part's decomposition against a fresh shortcut with
+	// the same assignment — the cache must not serve stale results.
+	mutated := -1
+	for e := 0; e < g.NumEdges() && mutated < 0; e++ {
+		if tr.IsTreeEdge(e) && len(s.PartsOn(e)) > 0 {
+			mutated = e
+		}
+	}
+	if mutated < 0 {
+		t.Fatal("no assigned tree edge to mutate")
+	}
+	i := s.PartsOn(mutated)[0]
+	for e := 0; e < g.NumEdges(); e++ {
+		if tr.IsTreeEdge(e) && !s.Contains(e, i) {
+			s.Assign(e, i)
+			break
+		}
+	}
+	fresh := NewShortcut(tr, p)
+	for e := 0; e < g.NumEdges(); e++ {
+		if parts := s.PartsOn(e); len(parts) > 0 {
+			fresh.SetParts(e, append([]int(nil), parts...))
+		}
+	}
+	for j := 0; j < p.NumParts(); j++ {
+		if !reflect.DeepEqual(s.Blocks(j), fresh.Blocks(j)) {
+			t.Errorf("part %d: post-mutation Blocks differ from a fresh shortcut (stale cache)", j)
+		}
+	}
+	if reflect.DeepEqual(blocksSnapshot(s), want) {
+		t.Error("mutation did not change any decomposition — test mutated nothing observable")
+	}
+}
+
+// TestBlocksQueryStability pins the query results of a seeded construction
+// against repeated querying orders: asking for diameters, congestion and
+// blocks in any interleaving yields the same decomposition bytes.
+func TestBlocksQueryStability(t *testing.T) {
+	g := gen.Torus(8, 8)
+	tr := tree.BFSTree(g, 0)
+	p := partition.Voronoi(g, 6, 2)
+	fr, err := FindShortcut(tr, p, FindConfig{C: 6, B: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(s *Shortcut, order []func(*Shortcut)) string {
+		for _, q := range order {
+			q(s)
+		}
+		out := ""
+		for i := 0; i < p.NumParts(); i++ {
+			out += fmt.Sprintf("%d:%v\n", i, s.Blocks(i))
+		}
+		return out
+	}
+	qBlocks := func(s *Shortcut) { s.BlockParameter() }
+	qDiam := func(s *Shortcut) { s.Dilation() }
+	qCong := func(s *Shortcut) { s.Congestion() }
+	base := render(fr.S, []func(*Shortcut){qBlocks, qDiam, qCong})
+	fr2, err := FindShortcut(tr, p, FindConfig{C: 6, B: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := render(fr2.S, []func(*Shortcut){qCong, qDiam, qBlocks}); got != base {
+		t.Errorf("query order changed Blocks output:\n--- want\n%s--- got\n%s", base, got)
+	}
+}

@@ -26,12 +26,31 @@ import (
 // Shortcut is a T-restricted shortcut (Definition 2): an assignment of tree
 // edges to parts. H_i is the set of tree edges assigned to part i; part i
 // communicates on G[P_i] + H_i.
+//
+// Quality queries (Blocks, BlockCount, PartDiameter and the aggregates over
+// them) build per-part views lazily and memoize them until the next
+// mutation, so repeated queries — the experiment tables ask for blocks,
+// diameter and congestion of every part — pay the decomposition cost once.
+// A Shortcut is consequently not safe for concurrent use, not even for
+// concurrent reads.
 type Shortcut struct {
 	t *tree.Tree
 	p *partition.Partition
 	// edgeParts[e] lists the parts whose H_i contains tree edge e, sorted
-	// ascending. nil for unassigned and non-tree edges.
+	// ascending. nil for unassigned and non-tree edges. Construction seals
+	// these as subslices of one flat arena with len == cap, so Assign's
+	// append copies instead of clobbering a neighbor.
 	edgeParts [][]int
+
+	// Lazily built, mutation-invalidated query caches: partEdges[i] is H_i
+	// in ascending EdgeID order; blocks[i] the memoized Blocks(i) result.
+	partEdges [][]graph.EdgeID
+	blocks    [][]Block
+	// Dense-local-index scratch for block/diameter queries: qIdx[v] is v's
+	// local index, valid while qTag[v] == tag.
+	qIdx []int32
+	qTag []int64
+	tag  int64
 }
 
 // NewShortcut returns an empty shortcut (every H_i = ∅) over tree t and
@@ -50,6 +69,12 @@ func (s *Shortcut) Tree() *tree.Tree { return s.t }
 // Partition returns the parts the shortcut serves.
 func (s *Shortcut) Partition() *partition.Partition { return s.p }
 
+// invalidate drops the memoized query views after a mutation.
+func (s *Shortcut) invalidate() {
+	s.partEdges = nil
+	s.blocks = nil
+}
+
 // Assign adds tree edge e to H_i. It panics if e is not a tree edge or i is
 // not a valid part (programmer errors in construction code).
 func (s *Shortcut) Assign(e graph.EdgeID, i int) {
@@ -60,6 +85,7 @@ func (s *Shortcut) Assign(e graph.EdgeID, i int) {
 		panic(fmt.Sprintf("core: part %d out of range [0,%d)", i, s.p.NumParts()))
 	}
 	s.edgeParts[e] = insertSorted(s.edgeParts[e], i)
+	s.invalidate()
 }
 
 // SetParts replaces the full part list of tree edge e (callers pass a sorted
@@ -69,6 +95,7 @@ func (s *Shortcut) SetParts(e graph.EdgeID, parts []int) {
 		panic(fmt.Sprintf("core: edge %d is not a tree edge", e))
 	}
 	s.edgeParts[e] = parts
+	s.invalidate()
 }
 
 // PartsOn returns the sorted part list using tree edge e. The slice is owned
@@ -82,15 +109,46 @@ func (s *Shortcut) Contains(e graph.EdgeID, i int) bool {
 	return k < len(list) && list[k] == i
 }
 
-// EdgesOf returns H_i as a slice of tree-edge IDs.
-func (s *Shortcut) EdgesOf(i int) []graph.EdgeID {
-	var out []graph.EdgeID
-	for e, parts := range s.edgeParts {
-		if len(parts) > 0 && s.Contains(e, i) {
-			out = append(out, e)
+// partEdgeLists returns, for every part, H_i in ascending EdgeID order,
+// built once per mutation epoch by a counting pass over the per-edge lists.
+func (s *Shortcut) partEdgeLists() [][]graph.EdgeID {
+	if s.partEdges != nil {
+		return s.partEdges
+	}
+	nParts := s.p.NumParts()
+	cnt := make([]int, nParts+1)
+	total := 0
+	for _, parts := range s.edgeParts {
+		total += len(parts)
+		for _, i := range parts {
+			cnt[i+1]++
 		}
 	}
-	return out
+	for i := 1; i <= nParts; i++ {
+		cnt[i] += cnt[i-1]
+	}
+	flat := make([]graph.EdgeID, total)
+	for e, parts := range s.edgeParts {
+		for _, i := range parts {
+			flat[cnt[i]] = e
+			cnt[i]++
+		}
+	}
+	s.partEdges = make([][]graph.EdgeID, nParts)
+	prev := 0
+	for i := 0; i < nParts; i++ {
+		if end := cnt[i]; end > prev {
+			s.partEdges[i] = flat[prev:end:end]
+			prev = end
+		}
+	}
+	return s.partEdges
+}
+
+// EdgesOf returns H_i as a slice of tree-edge IDs in ascending order. The
+// caller owns the returned slice.
+func (s *Shortcut) EdgesOf(i int) []graph.EdgeID {
+	return append([]graph.EdgeID(nil), s.partEdgeLists()[i]...)
 }
 
 // Congestion returns the exact congestion of the shortcut per Definition 1:
@@ -135,62 +193,93 @@ type Block struct {
 	Nodes []graph.NodeID // all vertices of the component, Steiner vertices included
 }
 
+// localIndex returns the dense local index of v under the current query tag,
+// appending v to verts on first sight.
+func (s *Shortcut) localIndex(v graph.NodeID, verts []graph.NodeID) (int32, []graph.NodeID) {
+	if s.qTag[v] == s.tag {
+		return s.qIdx[v], verts
+	}
+	s.qTag[v] = s.tag
+	k := int32(len(verts))
+	s.qIdx[v] = k
+	return k, append(verts, v)
+}
+
+// beginQuery advances the query tag and sizes the dense-index scratch.
+func (s *Shortcut) beginQuery() {
+	n := s.t.Graph().NumNodes()
+	if cap(s.qIdx) < n {
+		s.qIdx = make([]int32, n)
+		s.qTag = make([]int64, n)
+	}
+	s.qIdx = s.qIdx[:n]
+	s.qTag = s.qTag[:n]
+	s.tag++
+}
+
 // Blocks returns the block components of part i, sorted by (root depth, root
-// ID) — the priority order Lemma 2 routing uses. Isolated vertices of P_i
-// (no incident H_i edge) form singleton blocks.
+// ID) — the priority order Lemma 2 routing uses — with each block's Nodes
+// sorted ascending. Isolated vertices of P_i (no incident H_i edge) form
+// singleton blocks. The result is memoized; the returned slice is owned by
+// the shortcut and must not be modified.
 func (s *Shortcut) Blocks(i int) []Block {
-	// Collect H_i's vertices and union its edges.
+	if s.blocks != nil && s.blocks[i] != nil {
+		return s.blocks[i]
+	}
+	blk := s.computeBlocks(i)
+	if s.blocks == nil {
+		s.blocks = make([][]Block, s.p.NumParts())
+	}
+	s.blocks[i] = blk
+	return blk
+}
+
+func (s *Shortcut) computeBlocks(i int) []Block {
 	g := s.t.Graph()
-	local := make(map[graph.NodeID]int)
-	var verts []graph.NodeID
-	idx := func(v graph.NodeID) int {
-		if k, ok := local[v]; ok {
-			return k
-		}
-		k := len(verts)
-		local[v] = k
-		verts = append(verts, v)
-		return k
+	s.beginQuery()
+	// Collect H_i's vertices (dense local indices) and union its edges;
+	// isolated P_i vertices join as singletons.
+	verts := make([]graph.NodeID, 0, s.p.Size(i))
+	edges := s.partEdgeLists()[i]
+	type pair struct{ a, b int32 }
+	localEdges := make([]pair, 0, len(edges))
+	for _, e := range edges {
+		ed := g.Edge(e)
+		var a, b int32
+		a, verts = s.localIndex(ed.U, verts)
+		b, verts = s.localIndex(ed.V, verts)
+		localEdges = append(localEdges, pair{a, b})
 	}
-	var edges [][2]int
-	for e, parts := range s.edgeParts {
-		if len(parts) > 0 && s.Contains(e, i) {
-			ed := g.Edge(e)
-			edges = append(edges, [2]int{idx(ed.U), idx(ed.V)})
-		}
-	}
-	// Isolated P_i vertices join as singletons.
 	for _, v := range s.p.Nodes(i) {
-		idx(v)
+		_, verts = s.localIndex(v, verts)
 	}
 	uf := graph.NewUnionFind(len(verts))
-	for _, e := range edges {
-		uf.Union(e[0], e[1])
+	for _, e := range localEdges {
+		uf.Union(int(e.a), int(e.b))
 	}
-	inPart := make(map[int]bool) // component rep -> intersects P_i
+	inPart := make([]bool, len(verts)) // component rep -> intersects P_i
 	for _, v := range s.p.Nodes(i) {
-		inPart[uf.Find(local[v])] = true
+		inPart[uf.Find(int(s.qIdx[v]))] = true
 	}
-	byRep := make(map[int]*Block)
+	repBlock := make([]int32, len(verts)) // component rep -> 1+index into out
+	out := make([]Block, 0, 8)
 	for k, v := range verts {
 		rep := uf.Find(k)
 		if !inPart[rep] {
 			continue
 		}
-		blk := byRep[rep]
-		if blk == nil {
-			blk = &Block{Root: v}
-			byRep[rep] = blk
+		if repBlock[rep] == 0 {
+			out = append(out, Block{Root: v})
+			repBlock[rep] = int32(len(out))
 		}
+		blk := &out[repBlock[rep]-1]
 		blk.Nodes = append(blk.Nodes, v)
 		if s.t.Depth(v) < s.t.Depth(blk.Root) || (s.t.Depth(v) == s.t.Depth(blk.Root) && v < blk.Root) {
 			blk.Root = v
 		}
 	}
-	out := make([]Block, 0, len(byRep))
-	for _, blk := range byRep {
-		sort.Ints(blk.Nodes)
-		out = append(out, *blk)
+	for k := range out {
+		sort.Ints(out[k].Nodes)
 	}
 	sort.Slice(out, func(a, b int) bool {
 		da, db := s.t.Depth(out[a].Root), s.t.Depth(out[b].Root)
@@ -222,19 +311,35 @@ func (s *Shortcut) BlockParameter() int {
 // interior to P_i plus H_i). Returns graph.Unreached if disconnected, which
 // cannot happen for a valid shortcut over a connected part.
 func (s *Shortcut) PartDiameter(i int) int {
-	adj, verts := s.partAdjacency(i)
-	if len(verts) == 0 {
+	adjOff, adjTo, nVerts := s.partAdjacency(i)
+	if nVerts == 0 {
 		return graph.Unreached
 	}
 	diam := 0
-	for src := range adj {
-		dist := bfsLocal(adj, src)
+	dist := make([]int32, nVerts)
+	queue := make([]int32, 0, nVerts)
+	for src := 0; src < nVerts; src++ {
+		for k := range dist {
+			dist[k] = -1
+		}
+		queue = queue[:0]
+		dist[src] = 0
+		queue = append(queue, int32(src))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range adjTo[adjOff[v]:adjOff[v+1]] {
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
 		for _, d := range dist {
-			if d == graph.Unreached {
+			if d == -1 {
 				return graph.Unreached
 			}
-			if d > diam {
-				diam = d
+			if int(d) > diam {
+				diam = int(d)
 			}
 		}
 	}
@@ -253,77 +358,56 @@ func (s *Shortcut) Dilation() int {
 	return maxD
 }
 
-// partAdjacency builds the local adjacency of G[P_i]+H_i with dense local
-// vertex indices.
-func (s *Shortcut) partAdjacency(i int) ([][]int, []graph.NodeID) {
+// partAdjacency builds the CSR adjacency of G[P_i]+H_i over dense local
+// vertex indices: G's edges interior to P_i (each once, by endpoint order),
+// plus the H_i edges that leave P_i — an H_i edge interior to P_i is a
+// G-edge between part vertices and was already added by the induced pass.
+func (s *Shortcut) partAdjacency(i int) (off []int32, to []int32, nVerts int) {
 	g := s.t.Graph()
-	local := make(map[graph.NodeID]int)
-	var verts []graph.NodeID
-	idx := func(v graph.NodeID) int {
-		if k, ok := local[v]; ok {
-			return k
-		}
-		k := len(verts)
-		local[v] = k
-		verts = append(verts, v)
-		return k
-	}
+	s.beginQuery()
+	verts := make([]graph.NodeID, 0, s.p.Size(i))
 	for _, v := range s.p.Nodes(i) {
-		idx(v)
+		_, verts = s.localIndex(v, verts)
 	}
-	type pair struct{ a, b int }
-	seen := make(map[pair]bool)
-	var adjPairs []pair
-	addEdge := func(u, v graph.NodeID) {
-		a, b := idx(u), idx(v)
-		if a > b {
-			a, b = b, a
-		}
-		key := pair{a, b}
-		if !seen[key] {
-			seen[key] = true
-			adjPairs = append(adjPairs, key)
-		}
-	}
+	type pair struct{ a, b int32 }
+	var localEdges []pair
 	for _, v := range s.p.Nodes(i) {
-		to, _ := g.Arcs(v)
-		for _, wi := range to {
+		tos, _ := g.Arcs(v)
+		for _, wi := range tos {
 			if w := graph.NodeID(wi); s.p.Part(w) == i && w > v {
-				addEdge(v, w)
+				a, b := s.qIdx[v], s.qIdx[w]
+				localEdges = append(localEdges, pair{a, b})
 			}
 		}
 	}
-	for e, parts := range s.edgeParts {
-		if len(parts) > 0 && s.Contains(e, i) {
-			ed := g.Edge(e)
-			addEdge(ed.U, ed.V)
+	for _, e := range s.partEdgeLists()[i] {
+		ed := g.Edge(e)
+		if s.p.Part(ed.U) == i && s.p.Part(ed.V) == i {
+			continue
 		}
+		var a, b int32
+		a, verts = s.localIndex(ed.U, verts)
+		b, verts = s.localIndex(ed.V, verts)
+		localEdges = append(localEdges, pair{a, b})
 	}
-	adj := make([][]int, len(verts))
-	for _, pr := range adjPairs {
-		adj[pr.a] = append(adj[pr.a], pr.b)
-		adj[pr.b] = append(adj[pr.b], pr.a)
+	nVerts = len(verts)
+	off = make([]int32, nVerts+1)
+	for _, e := range localEdges {
+		off[e.a+1]++
+		off[e.b+1]++
 	}
-	return adj, verts
-}
-
-func bfsLocal(adj [][]int, src int) []int {
-	dist := make([]int, len(adj))
-	for i := range dist {
-		dist[i] = graph.Unreached
+	for k := 1; k <= nVerts; k++ {
+		off[k] += off[k-1]
 	}
-	dist[src] = 0
-	queue := []int{src}
-	for head := 0; head < len(queue); head++ {
-		v := queue[head]
-		for _, w := range adj[v] {
-			if dist[w] == graph.Unreached {
-				dist[w] = dist[v] + 1
-				queue = append(queue, w)
-			}
-		}
+	to = make([]int32, 2*len(localEdges))
+	cur := append([]int32(nil), off[:nVerts]...)
+	for _, e := range localEdges {
+		to[cur[e.a]] = e.b
+		cur[e.a]++
+		to[cur[e.b]] = e.a
+		cur[e.b]++
 	}
-	return dist
+	return off, to, nVerts
 }
 
 // Validate checks structural invariants: only tree edges are assigned, and

@@ -92,14 +92,12 @@ func routeUp(
 	assign PartAssign,
 	skipOwnPart bool,
 	parentUsable bool,
-	childUsable map[int]bool,
+	childUsable []bool, // aligned with info.Children
 	chunk int,
 ) (*NodeShortcut, error) {
 	ns := newNodeShortcut(info)
 	ns.ParentUsable = parentUsable
-	for child, u := range childUsable {
-		ns.ChildUsable[child] = u
-	}
+	copy(ns.ChildUsable, childUsable)
 	n := info.Count
 
 	seen := make(map[int]bool)
@@ -113,13 +111,17 @@ func routeUp(
 	if i := assign.Part(ctx.ID()); i != partition.None && !skipOwnPart {
 		add(i)
 	}
-	recvChild := make(map[int][]int, len(info.Children))
+	recvChild := make([][]int, len(info.Children)) // per child index
 
 	process := func(inbox []congest.Message) error {
 		for _, m := range inbox {
 			switch msg := m.Payload.(type) {
 			case routeMsg:
-				recvChild[m.From] = append(recvChild[m.From], msg.part)
+				k := ns.ChildIndex(m.From)
+				if k < 0 {
+					return fmt.Errorf("coredist: node %d got a route message from non-child %d", ctx.ID(), m.From)
+				}
+				recvChild[k] = append(recvChild[k], msg.part)
 				add(msg.part)
 			default:
 				return fmt.Errorf("coredist: unexpected payload %T in routing chunk", m.Payload)
@@ -166,9 +168,9 @@ func routeUp(
 		}
 		sort.Ints(ns.ParentParts)
 	}
-	for child, u := range ns.ChildUsable {
+	for k, u := range ns.ChildUsable {
 		if u {
-			ns.ChildParts[child] = sortedDedup(recvChild[child])
+			ns.ChildParts[k] = sortedDedup(recvChild[k])
 		}
 	}
 	return ns, nil
@@ -245,9 +247,9 @@ func completionCheck(
 // costs O(D + c*) rounds, where c* is the witness congestion — the paper's
 // "global pipelining over T" baseline, with no core subroutine at all.
 func CanonicalPhase(ctx *congest.Ctx, info *bfsproto.Info, assign PartAssign) (*NodeShortcut, error) {
-	childUsable := make(map[int]bool, len(info.Children))
-	for _, ch := range info.Children {
-		childUsable[ch] = true
+	childUsable := make([]bool, len(info.Children))
+	for k := range childUsable {
+		childUsable[k] = true
 	}
 	return routeUp(ctx, info, assign, false, info.Parent != -1, childUsable, info.Height+64)
 }

@@ -40,7 +40,7 @@ func upwardPass(
 	myPhase := info.Height - info.Depth
 	total := (info.Height + 1) * phaseLen
 
-	recv := make(map[int][]int, len(info.Children)) // child -> IDs received
+	recv := make([][]int, len(info.Children)) // per child index: IDs received
 	var (
 		pending  []int
 		sent     int
@@ -50,15 +50,19 @@ func upwardPass(
 	)
 	for r := 0; r <= total; r++ {
 		for _, m := range inbox {
+			k := ns.ChildIndex(m.From)
+			if k < 0 {
+				return nil, fmt.Errorf("coredist: node %d got an upward-pass message from non-child %d", ctx.ID(), m.From)
+			}
 			switch msg := m.Payload.(type) {
 			case idMsg:
-				recv[m.From] = append(recv[m.From], msg.part)
+				recv[k] = append(recv[k], msg.part)
 			case termMsg:
-				ns.ChildUsable[m.From] = msg.usable
+				ns.ChildUsable[k] = msg.usable
 				if msg.usable {
-					ns.ChildParts[m.From] = sortedDedup(recv[m.From])
+					ns.ChildParts[k] = sortedDedup(recv[k])
 				}
-				recv[m.From] = nil
+				recv[k] = nil
 			default:
 				return nil, fmt.Errorf("coredist: unexpected payload %T in upward pass", m.Payload)
 			}
@@ -119,11 +123,11 @@ func gatherLocal(ns *NodeShortcut, assign PartAssign, v int, skipOwnPart bool, a
 	if i := assign.Part(v); i != partition.None && !skipOwnPart && (activeOnly == nil || activeOnly(i)) {
 		lv = append(lv, i)
 	}
-	for child, usable := range ns.ChildUsable {
+	for k, usable := range ns.ChildUsable {
 		if !usable {
 			continue
 		}
-		for _, id := range ns.ChildParts[child] {
+		for _, id := range ns.ChildParts[k] {
 			lv = sortedInsert(lv, id)
 		}
 	}

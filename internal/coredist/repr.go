@@ -24,7 +24,9 @@ import (
 )
 
 // NodeShortcut is one node's view of a computed T-restricted shortcut
-// (the distributed representation of §4.1).
+// (the distributed representation of §4.1). Child edge state lives in flat
+// slices aligned with Info.Children — the per-node maps this replaced made
+// the accumulator the construction's allocation hot spot.
 type NodeShortcut struct {
 	// Info is the node's BFS phase output (tree structure + globals).
 	Info *bfsproto.Info
@@ -34,18 +36,90 @@ type NodeShortcut struct {
 	// ParentParts lists, sorted, the parts whose H_i contains the parent
 	// edge.
 	ParentParts []int
-	// ChildParts maps each tree child to the sorted parts on that edge.
-	ChildParts map[graph.NodeID][]int
-	// ChildUsable maps each tree child to that edge's usability.
-	ChildUsable map[graph.NodeID]bool
+	// ChildParts[k] lists, sorted, the parts on the edge to
+	// Info.Children[k]; nil when the edge is unusable or carries none.
+	// nil (as a whole) on states that never saw child traffic.
+	ChildParts [][]int
+	// ChildUsable[k] is the usability of the edge to Info.Children[k].
+	ChildUsable []bool
+
+	// childOrder caches child indices sorted by child node ID: the binary-
+	// search index behind ChildIndex and the deterministic iteration order
+	// of SortedChildIndices. Built lazily so literal-constructed states
+	// (tests) work.
+	childOrder []int32
 }
 
 func newNodeShortcut(info *bfsproto.Info) *NodeShortcut {
-	return &NodeShortcut{
+	ns := &NodeShortcut{
 		Info:        info,
-		ChildParts:  make(map[graph.NodeID][]int, len(info.Children)),
-		ChildUsable: make(map[graph.NodeID]bool, len(info.Children)),
+		ChildParts:  make([][]int, len(info.Children)),
+		ChildUsable: make([]bool, len(info.Children)),
 	}
+	ns.buildChildOrder()
+	return ns
+}
+
+func (ns *NodeShortcut) buildChildOrder() {
+	ns.childOrder = make([]int32, len(ns.Info.Children))
+	for k := range ns.childOrder {
+		ns.childOrder[k] = int32(k)
+	}
+	sort.Slice(ns.childOrder, func(a, b int) bool {
+		return ns.Info.Children[ns.childOrder[a]] < ns.Info.Children[ns.childOrder[b]]
+	})
+}
+
+// ChildIndex returns the index into Info.Children of child node ch, or -1
+// when ch is not a tree child of this node.
+func (ns *NodeShortcut) ChildIndex(ch graph.NodeID) int {
+	if ns.childOrder == nil {
+		if len(ns.Info.Children) == 0 {
+			return -1
+		}
+		ns.buildChildOrder()
+	}
+	lo, hi := 0, len(ns.childOrder)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns.Info.Children[ns.childOrder[mid]] < ch {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(ns.childOrder) && ns.Info.Children[ns.childOrder[lo]] == ch {
+		return int(ns.childOrder[lo])
+	}
+	return -1
+}
+
+// SortedChildIndices returns child indices (into Info.Children) ordered by
+// ascending child node ID — the deterministic iteration order protocol code
+// must use when child order is observable. The slice is owned by the state;
+// treat it as read-only.
+func (ns *NodeShortcut) SortedChildIndices() []int32 {
+	if ns.childOrder == nil && len(ns.Info.Children) > 0 {
+		ns.buildChildOrder()
+	}
+	return ns.childOrder
+}
+
+// ChildPartsAt returns ChildParts[k], tolerating literal-constructed states
+// with nil slices.
+func (ns *NodeShortcut) ChildPartsAt(k int) []int {
+	if k < 0 || k >= len(ns.ChildParts) {
+		return nil
+	}
+	return ns.ChildParts[k]
+}
+
+// ChildUsableAt returns ChildUsable[k], tolerating nil slices.
+func (ns *NodeShortcut) ChildUsableAt(k int) bool {
+	if k < 0 || k >= len(ns.ChildUsable) {
+		return false
+	}
+	return ns.ChildUsable[k]
 }
 
 // ToShortcut lifts per-node distributed state into a centralized
@@ -77,15 +151,16 @@ func ToShortcut(g *graph.Graph, p *partition.Partition, states []*NodeShortcut) 
 			continue
 		}
 		par := states[ns.Info.Parent]
-		fromParent, ok := par.ChildParts[v]
-		if !ok && len(ns.ParentParts) > 0 {
+		k := par.ChildIndex(v)
+		fromParent := par.ChildPartsAt(k)
+		if fromParent == nil && len(ns.ParentParts) > 0 {
 			return nil, nil, fmt.Errorf("coredist: parent of %d lost its child part list", v)
 		}
 		if !equalInts(ns.ParentParts, fromParent) {
 			return nil, nil, fmt.Errorf("coredist: edge (%d,%d) endpoint disagreement: child %v, parent %v",
 				v, ns.Info.Parent, ns.ParentParts, fromParent)
 		}
-		if pu, ok := par.ChildUsable[v]; ok && pu != ns.ParentUsable {
+		if k >= 0 && len(par.ChildUsable) > 0 && par.ChildUsableAt(k) != ns.ParentUsable {
 			return nil, nil, fmt.Errorf("coredist: edge (%d,%d) usability disagreement", v, ns.Info.Parent)
 		}
 		if len(ns.ParentParts) > 0 {

@@ -38,10 +38,13 @@ import (
 
 	"lcshortcut/internal/bfsproto"
 	"lcshortcut/internal/congest"
+	"lcshortcut/internal/core"
 	"lcshortcut/internal/elect"
 	"lcshortcut/internal/graph"
 	"lcshortcut/internal/mincut"
+	"lcshortcut/internal/partition"
 	"lcshortcut/internal/scenario"
+	"lcshortcut/internal/tree"
 )
 
 // beat is the zero-size microbenchmark payload: converting it to the Payload
@@ -66,7 +69,20 @@ type Scenario struct {
 	// Graph returns the scenario's graph, built once and cached.
 	Graph func() *graph.Graph
 	// Run performs one simulation on g under the currently selected engine.
+	// nil when Variants is set.
 	Run func(g *graph.Graph) (congest.Stats, error)
+	// Variants, when non-empty, replaces the per-engine measurement: the
+	// scenario is measured once per variant and the variant name fills the
+	// report's engine column. Used by workloads whose interesting axis is not
+	// the CONGEST engine (the findshortcut construction's sequential/parallel
+	// walk paths).
+	Variants []Variant
+}
+
+// Variant is one named way to run a variant-bearing scenario.
+type Variant struct {
+	Name string
+	Run  func(g *graph.Graph) (congest.Stats, error)
 }
 
 // BroadcastProc floods every edge in both directions for `rounds` rounds —
@@ -190,6 +206,47 @@ func bfsOpenOn(family string, n int, seed int64, heavy bool) Scenario {
 	}
 }
 
+// findShortcutOn builds the centralized FindShortcut construction workload
+// on a registry family — the S1 shape (sqrt(n)-seed Voronoi partition, BFS
+// tree from vertex 0) through the Appendix A doubling driver — measured once
+// per walk path: sequential (workers = 1) and the parallel worker pool
+// (workers = GOMAXPROCS; output byte-identical by the determinism contract,
+// see DESIGN.md). The construction is centralized, so no CONGEST rounds run
+// and the reported sim counters are zero.
+func findShortcutOn(family string, n int, seed int64, heavy bool) Scenario {
+	name, g := graphOf(family, n, seed)
+	var once sync.Once
+	var tr *tree.Tree
+	var p *partition.Partition
+	input := func(g *graph.Graph) (*tree.Tree, *partition.Partition) {
+		once.Do(func() {
+			seeds := 1
+			for (seeds+1)*(seeds+1) <= g.NumNodes() {
+				seeds++
+			}
+			p = partition.Voronoi(g, seeds, 2)
+			tr = tree.BFSTree(g, 0)
+		})
+		return tr, p
+	}
+	run := func(workers int) func(g *graph.Graph) (congest.Stats, error) {
+		return func(g *graph.Graph) (congest.Stats, error) {
+			tr, p := input(g)
+			_, err := core.FindShortcutAuto(tr, p, 11, false, workers)
+			return congest.Stats{}, err
+		}
+	}
+	return Scenario{
+		Name:  "findshortcut/" + name,
+		Heavy: heavy,
+		Graph: g,
+		Variants: []Variant{
+			{Name: "sequential", Run: run(1)},
+			{Name: "parallel", Run: run(0)},
+		},
+	}
+}
+
 // Scenarios returns the engine benchmark suite: every graph family at
 // ~2k nodes under the broadcast flood (all six new families included — the
 // degree profile is what differentiates them), the sparse token ring, and
@@ -239,6 +296,15 @@ func Scenarios() []Scenario {
 	suite = append(suite,
 		bfsOpenOn("grid", 65536, 1, true),
 		bfsOpenOn("er-sparse", 50000, 1, false),
+	)
+	// The centralized FindShortcut construction hot path, sequential vs the
+	// parallel worker pool, on a mid-size mesh and the two largest families
+	// (er-sparse-50000 is Heavy: the doubling driver re-runs the core
+	// subroutine across many estimates there).
+	suite = append(suite,
+		findShortcutOn("geometric", 2048, 5, false),
+		findShortcutOn("grid", 16384, 1, false),
+		findShortcutOn("er-sparse", 50000, 1, true),
 	)
 	return suite
 }
@@ -297,6 +363,17 @@ func MeasureSuite(suite []Scenario, minIters int, minDuration time.Duration, ski
 		}
 		g := sc.Graph()
 		perScenario[sc.Name] = make(map[string]int64)
+		if len(sc.Variants) > 0 {
+			for _, v := range sc.Variants {
+				m, err := measureRun(sc.Name, v.Name, sc.Heavy, v.Run, g, minIters, minDuration)
+				if err != nil {
+					return nil, err
+				}
+				rep.Results = append(rep.Results, m)
+				perScenario[sc.Name][m.Engine] = m.NsPerOp
+			}
+			continue
+		}
 		for _, e := range []congest.Engine{congest.EngineChannel, congest.EngineEventLoop} {
 			m, err := measureOne(sc, g, e, minIters, minDuration)
 			if err != nil {
@@ -315,15 +392,18 @@ func MeasureSuite(suite []Scenario, minIters int, minDuration time.Duration, ski
 }
 
 func measureOne(sc Scenario, g *graph.Graph, e congest.Engine, minIters int, minDuration time.Duration) (Measurement, error) {
-	if sc.Heavy {
-		minIters, minDuration = 1, 0
-	}
 	prev := congest.SetEngine(e)
 	defer congest.SetEngine(prev)
-	if !sc.Heavy {
+	return measureRun(sc.Name, EngineName(e), sc.Heavy, sc.Run, g, minIters, minDuration)
+}
+
+func measureRun(name, engine string, heavy bool, run func(*graph.Graph) (congest.Stats, error), g *graph.Graph, minIters int, minDuration time.Duration) (Measurement, error) {
+	if heavy {
+		minIters, minDuration = 1, 0
+	} else {
 		// Warm engine pools and graph views outside the timed region (heavy
 		// scenarios amortize their cold start over a minutes-long run).
-		if _, err := sc.Run(g); err != nil {
+		if _, err := run(g); err != nil {
 			return Measurement{}, err
 		}
 	}
@@ -334,7 +414,7 @@ func measureOne(sc Scenario, g *graph.Graph, e congest.Engine, minIters int, min
 	iters := 0
 	for iters < minIters || time.Since(start) < minDuration {
 		var err error
-		if stats, err = sc.Run(g); err != nil {
+		if stats, err = run(g); err != nil {
 			return Measurement{}, err
 		}
 		iters++
@@ -342,8 +422,8 @@ func measureOne(sc Scenario, g *graph.Graph, e congest.Engine, minIters int, min
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return Measurement{
-		Scenario:    sc.Name,
-		Engine:      EngineName(e),
+		Scenario:    name,
+		Engine:      engine,
 		Iters:       iters,
 		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
 		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),

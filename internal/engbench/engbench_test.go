@@ -63,6 +63,25 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("new family %q has no broadcast engbench scenario", want)
 		}
 	}
+	// The findshortcut construction group measures named variants instead of
+	// engines: both walk paths present, and exactly one of Run/Variants set
+	// per scenario.
+	fsc := 0
+	for _, sc := range suite {
+		if (sc.Run == nil) == (len(sc.Variants) == 0) {
+			t.Errorf("scenario %q must set exactly one of Run and Variants", sc.Name)
+		}
+		if !strings.HasPrefix(sc.Name, "findshortcut/") {
+			continue
+		}
+		fsc++
+		if len(sc.Variants) != 2 || sc.Variants[0].Name != "sequential" || sc.Variants[1].Name != "parallel" {
+			t.Errorf("scenario %q: want variants [sequential parallel], got %d", sc.Name, len(sc.Variants))
+		}
+	}
+	if fsc == 0 {
+		t.Error("no findshortcut construction scenarios in the suite")
+	}
 }
 
 // TestMeasureSmoke runs the harness end to end on one tiny scenario to keep
@@ -77,16 +96,27 @@ func TestMeasureSmoke(t *testing.T) {
 			return congest.Run(g, TokenRingProc(g.NumNodes(), g.NumNodes()), congest.Options{Seed: 1})
 		},
 	}}
+	tiny = append(tiny, findShortcutOn("grid", 36, 1, false))
 	rep, err := MeasureSuite(tiny, 1, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) == 0 {
-		t.Fatal("no measurements")
+	if len(rep.Results) != 4 {
+		t.Fatalf("want 4 measurements (2 engines + 2 variants), got %d", len(rep.Results))
 	}
+	engines := map[string]bool{}
 	for _, m := range rep.Results {
-		if m.NsPerOp <= 0 || m.SimRounds <= 0 {
+		engines[m.Engine] = true
+		if m.NsPerOp <= 0 {
 			t.Errorf("%s/%s: empty measurement %+v", m.Scenario, m.Engine, m)
+		}
+		if m.SimRounds <= 0 && !strings.HasPrefix(m.Scenario, "findshortcut/") {
+			t.Errorf("%s/%s: no simulated rounds %+v", m.Scenario, m.Engine, m)
+		}
+	}
+	for _, want := range []string{"channel", "event-loop", "sequential", "parallel"} {
+		if !engines[want] {
+			t.Errorf("missing measurement column %q", want)
 		}
 	}
 	if len(rep.Speedup) == 0 {

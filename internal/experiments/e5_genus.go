@@ -55,7 +55,7 @@ func runE5(rc *RunContext) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ar, err := core.FindShortcutAuto(tr, p, 11, false)
+		ar, err := core.FindShortcutAuto(tr, p, 11, false, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -13,7 +13,9 @@ type e7Instance struct {
 }
 
 func e7Instances(short bool) []e7Instance {
-	lb := gen.LowerBound(6, 12)
+	// Reweight a clone: generator output is treated as shared and immutable,
+	// so E7's adversarial weights cannot leak into other experiments.
+	lb := gen.LowerBound(6, 12).Clone()
 	// Adversarial weights: cheap row edges force path-shaped fragments.
 	for e := 0; e < lb.NumEdges(); e++ {
 		ed := lb.Edge(e)

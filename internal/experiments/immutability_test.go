@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/scenario"
+)
+
+// edgeList snapshots a graph's full edge structure (endpoints and weights).
+func edgeList(g *graph.Graph) []graph.Edge {
+	out := make([]graph.Edge, g.NumEdges())
+	for e := 0; e < g.NumEdges(); e++ {
+		out[e] = g.Edge(e)
+	}
+	return out
+}
+
+// TestRegistryGraphsImmutableAcrossHarness pins the registry-immutability
+// contract behind E7's reweight-on-clone fix: graphs built by the scenario
+// registry are byte-identical before and after a full (short) harness run.
+// Today every Build returns a fresh graph, so the held references can only
+// change if an experiment mutates a graph it shares with us — exactly the
+// leak this guards against should the registry ever start caching builds.
+func TestRegistryGraphsImmutableAcrossHarness(t *testing.T) {
+	held := map[string]*graph.Graph{}
+	before := map[string][]graph.Edge{}
+	for _, s := range scenario.All() {
+		g := s.Build(s.Sizes[0], 2)
+		held[s.Name] = g
+		before[s.Name] = edgeList(g)
+	}
+
+	if _, err := RunAll(Options{Short: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, g := range held {
+		after := edgeList(g)
+		want := before[name]
+		if len(after) != len(want) {
+			t.Errorf("%s: edge count changed %d -> %d", name, len(want), len(after))
+			continue
+		}
+		for e := range want {
+			if after[e] != want[e] {
+				t.Errorf("%s: edge %d mutated by the harness: %+v -> %+v", name, e, want[e], after[e])
+				break
+			}
+		}
+		// Rebuilding with the same (n, seed) must reproduce the held graph:
+		// a drifted rebuild means some run leaked state into the generators.
+		rebuilt := scenario.MustGet(name).Build(scenario.MustGet(name).Sizes[0], 2)
+		for e := 0; e < rebuilt.NumEdges() && e < len(want); e++ {
+			if rebuilt.Edge(e) != want[e] {
+				t.Errorf("%s: rebuild drifted at edge %d: %+v -> %+v", name, e, want[e], rebuilt.Edge(e))
+				break
+			}
+		}
+	}
+}

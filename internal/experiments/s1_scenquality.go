@@ -64,7 +64,7 @@ func runS1(rc *RunContext) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("%s/n=%d: %w", s.Name, size, err)
 			}
-			ar, err := core.FindShortcutAuto(tr, p, 11, false)
+			ar, err := core.FindShortcutAuto(tr, p, 11, false, 0)
 			if err != nil {
 				return nil, fmt.Errorf("%s/n=%d: %w", s.Name, size, err)
 			}

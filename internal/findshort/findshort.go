@@ -133,8 +133,8 @@ func Phase(ctx *congest.Ctx, info *bfsproto.Info, assign coredist.PartAssign, cf
 func emptyAccum(info *bfsproto.Info) *coredist.NodeShortcut {
 	return &coredist.NodeShortcut{
 		Info:        info,
-		ChildParts:  make(map[graph.NodeID][]int),
-		ChildUsable: make(map[graph.NodeID]bool),
+		ChildParts:  make([][]int, len(info.Children)),
+		ChildUsable: make([]bool, len(info.Children)),
 	}
 }
 
@@ -158,9 +158,9 @@ func mergeAccum(acc, ns *coredist.NodeShortcut, good func(int) bool) {
 	}
 	acc.ParentParts = merge(acc.ParentParts, ns.ParentParts)
 	acc.ParentUsable = len(acc.ParentParts) > 0
-	for ch, parts := range ns.ChildParts {
-		acc.ChildParts[ch] = merge(acc.ChildParts[ch], parts)
-		acc.ChildUsable[ch] = len(acc.ChildParts[ch]) > 0
+	for k, parts := range ns.ChildParts {
+		acc.ChildParts[k] = merge(acc.ChildParts[k], parts)
+		acc.ChildUsable[k] = len(acc.ChildParts[k]) > 0
 	}
 }
 

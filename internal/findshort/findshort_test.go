@@ -189,7 +189,7 @@ func TestAutoPhaseMatchesCentralized(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := core.FindShortcutAuto(tr, in.p, 21, true)
+			want, err := core.FindShortcutAuto(tr, in.p, 21, true, 1)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -17,7 +17,7 @@ import (
 // rejecting loops and duplicates exactly as the Builder does.
 func fuzzInstance(data []byte) (*graph.Graph, *partition.Partition, int64) {
 	n := 4 + int(data[0])%40
-	b := graph.NewBuilder(n)
+	b := graph.MustNewBuilder(n)
 	pos := 4
 	next := func() int {
 		if pos >= len(data) {

@@ -25,7 +25,7 @@ func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
 		panic(fmt.Sprintf("gen: Barabási–Albert needs m >= 1 and n >= m+2, got n=%d m=%d", n, m))
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	// pool holds one entry per edge endpoint, so drawing uniformly from it
 	// samples vertices with probability proportional to degree.
 	pool := make([]graph.NodeID, 0, 2*(m*(m+1)/2+(n-m-1)*m))

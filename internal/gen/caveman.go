@@ -22,7 +22,7 @@ func Caveman(k, s int) *graph.Graph {
 	if k < 3 || s < 3 {
 		panic(fmt.Sprintf("gen: caveman graph needs k >= 3 cliques of size s >= 3, got k=%d s=%d", k, s))
 	}
-	g := graph.NewBuilder(k * s)
+	g := graph.MustNewBuilder(k * s)
 	for c := 0; c < k; c++ {
 		off := c * s
 		for i := 0; i < s; i++ {

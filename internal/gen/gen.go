@@ -40,7 +40,7 @@ func gridBuilder(w, h int) *graph.Builder { return gridBuilderN(w, h, 0) }
 // gridBuilderN is gridBuilder with room for extra vertices beyond the grid
 // (SurfaceMesh appends its handle tubes after the grid vertices).
 func gridBuilderN(w, h, extra int) *graph.Builder {
-	g := graph.NewBuilder(w*h + extra)
+	g := graph.MustNewBuilder(w*h + extra)
 	gi := GridIndexer{W: w, H: h}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -61,7 +61,7 @@ func Torus(w, h int) *graph.Graph {
 	if w < 3 || h < 3 {
 		panic(fmt.Sprintf("gen: torus needs w,h >= 3, got %dx%d", w, h))
 	}
-	g := graph.NewBuilder(w * h)
+	g := graph.MustNewBuilder(w * h)
 	gi := GridIndexer{W: w, H: h}
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -111,7 +111,7 @@ func HandledGrid(w, h, handles int) *graph.Graph {
 func Path(n int) *graph.Graph { return pathBuilder(n).Finalize() }
 
 func pathBuilder(n int) *graph.Builder {
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	for i := 0; i+1 < n; i++ {
 		g.MustAddEdge(i, i+1, 1)
 	}
@@ -134,7 +134,7 @@ func ringBuilder(n int) *graph.Builder {
 
 // Star returns the star graph: center 0 connected to 1..n-1.
 func Star(n int) *graph.Graph {
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(0, i, 1)
 	}
@@ -145,7 +145,7 @@ func Star(n int) *graph.Graph {
 // (depth 0 is a single root). Node i has children 2i+1 and 2i+2.
 func CompleteBinaryTree(depth int) *graph.Graph {
 	n := (1 << (depth + 1)) - 1
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(i, (i-1)/2, 1)
 	}
@@ -156,7 +156,7 @@ func CompleteBinaryTree(depth int) *graph.Graph {
 // attaches to a uniformly random earlier vertex.
 func RandomTree(n int, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(i, rng.Intn(i), 1)
 	}
@@ -166,7 +166,7 @@ func RandomTree(n int, seed int64) *graph.Graph {
 // Caterpillar returns a caterpillar: a spine path of the given length with
 // legs pendant vertices attached to every spine vertex.
 func Caterpillar(spine, legs int) *graph.Graph {
-	g := graph.NewBuilder(spine * (1 + legs))
+	g := graph.MustNewBuilder(spine * (1 + legs))
 	for i := 0; i+1 < spine; i++ {
 		g.MustAddEdge(i, i+1, 1)
 	}
@@ -184,7 +184,7 @@ func Caterpillar(spine, legs int) *graph.Graph {
 // vertices hanging off vertex 0. Its diameter is pathLen+1 while the clique
 // part has diameter 1 — a stress case for per-part diameters.
 func Lollipop(cliqueSize, pathLen int) *graph.Graph {
-	g := graph.NewBuilder(cliqueSize + pathLen)
+	g := graph.MustNewBuilder(cliqueSize + pathLen)
 	for i := 0; i < cliqueSize; i++ {
 		for j := i + 1; j < cliqueSize; j++ {
 			g.MustAddEdge(i, j, 1)
@@ -203,7 +203,7 @@ func Lollipop(cliqueSize, pathLen int) *graph.Graph {
 // with probability p.
 func ErdosRenyi(n int, p float64, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	for i := 1; i < n; i++ {
 		g.MustAddEdge(i, rng.Intn(i), 1)
 	}
@@ -250,7 +250,7 @@ func OuterplanarTriangulation(n int, seed int64) *graph.Graph {
 // 0 < |i-j| ≤ k. Its pathwidth is exactly k, making it the controlled
 // bounded-pathwidth family mentioned in the paper's Section 1.3.
 func PathPower(n, k int) *graph.Graph {
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	for i := 0; i < n; i++ {
 		for d := 1; d <= k && i+d < n; d++ {
 			g.MustAddEdge(i, i+d, 1)
@@ -280,7 +280,7 @@ func LowerBound(numPaths, pathLen int) *graph.Graph {
 	}
 	treeN := 2*leaves - 1
 	base := numPaths * pathLen
-	g := graph.NewBuilder(base + treeN)
+	g := graph.MustNewBuilder(base + treeN)
 	pathNode := func(p, j int) graph.NodeID { return p*pathLen + j }
 	treeNode := func(i int) graph.NodeID { return base + i } // heap-indexed
 	for p := 0; p < numPaths; p++ {
@@ -320,7 +320,7 @@ func RingOfCliques(k, s int) *graph.Graph {
 	if k < 3 || s < 1 {
 		panic(fmt.Sprintf("gen: ring of cliques needs k >= 3, s >= 1, got %d,%d", k, s))
 	}
-	g := graph.NewBuilder(k * s)
+	g := graph.MustNewBuilder(k * s)
 	for c := 0; c < k; c++ {
 		off := c * s
 		for i := 0; i < s; i++ {
@@ -333,9 +333,12 @@ func RingOfCliques(k, s int) *graph.Graph {
 	return g.Finalize()
 }
 
-// WithRandomWeights assigns each edge an independent uniform weight in
-// [1, maxW] drawn from the seeded generator and returns g for chaining.
+// WithRandomWeights returns a clone of g in which each edge has an
+// independent uniform weight in [1, maxW] drawn from the seeded generator.
+// The input graph is left untouched: reweighting a shared graph (e.g. a
+// registry build) must not leak into other consumers.
 func WithRandomWeights(g *graph.Graph, seed int64, maxW int64) *graph.Graph {
+	g = g.Clone()
 	rng := rand.New(rand.NewSource(seed))
 	for id := 0; id < g.NumEdges(); id++ {
 		g.SetWeight(id, 1+rng.Int63n(maxW))
@@ -343,9 +346,11 @@ func WithRandomWeights(g *graph.Graph, seed int64, maxW int64) *graph.Graph {
 	return g
 }
 
-// WithUniqueWeights assigns each edge a distinct weight (a random permutation
-// of 1..NumEdges), guaranteeing a unique MST. Returns g for chaining.
+// WithUniqueWeights returns a clone of g in which each edge has a distinct
+// weight (a random permutation of 1..NumEdges), guaranteeing a unique MST.
+// The input graph is left untouched.
 func WithUniqueWeights(g *graph.Graph, seed int64) *graph.Graph {
+	g = g.Clone()
 	rng := rand.New(rand.NewSource(seed))
 	perm := rng.Perm(g.NumEdges())
 	for id := 0; id < g.NumEdges(); id++ {

@@ -52,7 +52,7 @@ func RandomGeometric(n int, radius float64, seed int64) *graph.Graph {
 		px[newID], py[newID] = xs[old], ys[old]
 	}
 
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	// Morton backbone: consecutive points on the Z-curve are spatially close,
 	// so these edges keep the disk-graph character while forcing connectivity.
 	for i := 0; i+1 < n; i++ {

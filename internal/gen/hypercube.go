@@ -21,7 +21,7 @@ func Hypercube(dim int) *graph.Graph {
 		panic(fmt.Sprintf("gen: hypercube needs 1 <= dim <= 24, got %d", dim))
 	}
 	n := 1 << dim
-	g := graph.NewBuilder(n)
+	g := graph.MustNewBuilder(n)
 	for v := 0; v < n; v++ {
 		for b := 0; b < dim; b++ {
 			if u := v ^ (1 << b); u > v {

@@ -103,7 +103,7 @@ func pairingAttempt(n, d int, rng *rand.Rand) (*graph.Graph, bool) {
 			}
 		}
 		if fixedAll {
-			g := graph.NewBuilder(n)
+			g := graph.MustNewBuilder(n)
 			for _, p := range pairs {
 				g.MustAddEdge(p[0], p[1], 1)
 			}

@@ -10,6 +10,10 @@ import (
 // and endpoints outside [0, NumNodes).
 var ErrBadEdge = errors.New("graph: invalid edge")
 
+// ErrGraphTooLarge is returned by NewBuilder and Builder.AddEdge when a
+// requested graph exceeds the CSR int32 index space (vertex or arc counts).
+var ErrGraphTooLarge = errors.New("graph: size exceeds the CSR int32 index space")
+
 // Builder accumulates the edges of a graph and lays them out in CSR form with
 // Finalize. A Builder validates eagerly (self loops, range, duplicates), so
 // Finalize cannot fail. The zero value is not usable; construct with
@@ -20,18 +24,32 @@ type Builder struct {
 	seen  map[[2]NodeID]EdgeID
 }
 
-// NewBuilder returns a Builder for a graph on n vertices.
-func NewBuilder(n int) *Builder {
+// NewBuilder returns a Builder for a graph on n vertices. Negative or
+// oversized vertex counts are reported as returned errors (ErrGraphTooLarge
+// for the latter), matching AddEdge's validation style, so size-parameterized
+// generation driven by user input can fail gracefully instead of panicking.
+func NewBuilder(n int) (*Builder, error) {
 	if n < 0 {
-		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
 	}
 	if n > math.MaxInt32-1 {
-		panic(fmt.Sprintf("graph: vertex count %d exceeds the CSR int32 index space", n))
+		return nil, fmt.Errorf("%w: vertex count %d", ErrGraphTooLarge, n)
 	}
 	return &Builder{
 		n:    n,
 		seen: make(map[[2]NodeID]EdgeID, n),
+	}, nil
+}
+
+// MustNewBuilder is NewBuilder for statically well-formed construction code
+// (generators, tests); it panics on the errors NewBuilder reports — the same
+// split as AddEdge/MustAddEdge.
+func MustNewBuilder(n int) *Builder {
+	b, err := NewBuilder(n)
+	if err != nil {
+		panic(err)
 	}
+	return b
 }
 
 // NumNodes returns the number of vertices.
@@ -55,7 +73,7 @@ func (b *Builder) AddEdge(u, v NodeID, w int64) (EdgeID, error) {
 		return 0, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadEdge, u, v)
 	}
 	if 2*(len(b.edges)+1) > math.MaxInt32 {
-		return 0, fmt.Errorf("%w: edge count exceeds the CSR int32 index space", ErrBadEdge)
+		return 0, fmt.Errorf("%w: edge count %d", ErrGraphTooLarge, len(b.edges)+1)
 	}
 	id := len(b.edges)
 	b.edges = append(b.edges, Edge{U: u, V: v, W: w})

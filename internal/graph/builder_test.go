@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestNewBuilderErrors pins the unified validation style: bad vertex counts
+// are returned errors (not panics), with ErrGraphTooLarge marking CSR index
+// space overflow, so size-parameterized generation can fail gracefully.
+func TestNewBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder(-1); err == nil {
+		t.Error("negative vertex count: want error, got nil")
+	}
+	if _, err := NewBuilder(math.MaxInt32); !errors.Is(err, ErrGraphTooLarge) {
+		t.Errorf("oversized vertex count: got err %v, want ErrGraphTooLarge", err)
+	}
+	b, err := NewBuilder(2)
+	if err != nil || b == nil {
+		t.Fatalf("NewBuilder(2): %v", err)
+	}
+	if b.NumNodes() != 2 {
+		t.Errorf("NumNodes = %d, want 2", b.NumNodes())
+	}
+}
+
+// TestMustNewBuilderPanics pins the Must* escape hatch for statically
+// well-formed construction code.
+func TestMustNewBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewBuilder(-1) did not panic")
+		}
+	}()
+	MustNewBuilder(-1)
+}

@@ -48,7 +48,7 @@ func FuzzBuilder(f *testing.F) {
 			return
 		}
 		n := 1 + int(data[0])%64
-		b := NewBuilder(n)
+		b := MustNewBuilder(n)
 		ref := newRefGraph(n)
 		for i := 1; i+1 < len(data); i += 2 {
 			// Raw bytes, unreduced: out-of-range endpoints must be rejected by

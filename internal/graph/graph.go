@@ -131,7 +131,7 @@ func (g *Graph) Other(id EdgeID, v NodeID) NodeID {
 
 // Clone returns a deep copy of g (same node/edge IDs, independent weights).
 func (g *Graph) Clone() *Graph {
-	b := NewBuilder(g.NumNodes())
+	b := MustNewBuilder(g.NumNodes())
 	for _, e := range g.edges {
 		b.MustAddEdge(e.U, e.V, e.W)
 	}

@@ -9,7 +9,7 @@ import (
 
 func pathBuilder(t testing.TB, n int) *Builder {
 	t.Helper()
-	g := NewBuilder(n)
+	g := MustNewBuilder(n)
 	for i := 0; i+1 < n; i++ {
 		g.MustAddEdge(i, i+1, 1)
 	}
@@ -29,7 +29,7 @@ func cycle(t testing.TB, n int) *Graph {
 }
 
 func TestAddEdgeValidation(t *testing.T) {
-	g := NewBuilder(3)
+	g := MustNewBuilder(3)
 	if _, err := g.AddEdge(0, 0, 1); !errors.Is(err, ErrBadEdge) {
 		t.Errorf("self loop: got err %v, want ErrBadEdge", err)
 	}
@@ -54,7 +54,7 @@ func TestAddEdgeValidation(t *testing.T) {
 }
 
 func TestAdjacencySymmetry(t *testing.T) {
-	b := NewBuilder(4)
+	b := MustNewBuilder(4)
 	id := b.MustAddEdge(1, 3, 7)
 	g := b.Finalize()
 	if got := g.Other(id, 1); got != 3 {
@@ -85,7 +85,7 @@ func TestBFSPath(t *testing.T) {
 }
 
 func TestBFSDisconnected(t *testing.T) {
-	b := NewBuilder(4)
+	b := MustNewBuilder(4)
 	b.MustAddEdge(0, 1, 1)
 	b.MustAddEdge(2, 3, 1)
 	g := b.Finalize()
@@ -125,7 +125,7 @@ func TestDiameter(t *testing.T) {
 		{"path10", path(t, 10), 9},
 		{"cycle10", cycle(t, 10), 5},
 		{"cycle9", cycle(t, 9), 4},
-		{"single", NewBuilder(1).Finalize(), 0},
+		{"single", MustNewBuilder(1).Finalize(), 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -187,7 +187,7 @@ func TestCloneIndependence(t *testing.T) {
 }
 
 func TestTotalWeight(t *testing.T) {
-	b := NewBuilder(3)
+	b := MustNewBuilder(3)
 	b.MustAddEdge(0, 1, 5)
 	b.MustAddEdge(1, 2, -2)
 	g := b.Finalize()
@@ -225,7 +225,7 @@ func TestUnionFindMatchesComponents(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 50; trial++ {
 		n := 2 + rng.Intn(40)
-		b := NewBuilder(n)
+		b := MustNewBuilder(n)
 		uf := NewUnionFind(n)
 		for tries := 0; tries < 2*n; tries++ {
 			u, v := rng.Intn(n), rng.Intn(n)
@@ -257,7 +257,7 @@ func TestEccentricityProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(30)
-		b := NewBuilder(n)
+		b := MustNewBuilder(n)
 		for i := 1; i < n; i++ { // random tree keeps it connected
 			b.MustAddEdge(i, rng.Intn(i), 1)
 		}
@@ -289,7 +289,7 @@ func TestRevArcs(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 50; trial++ {
 		n := 2 + rng.Intn(40)
-		b := NewBuilder(n)
+		b := MustNewBuilder(n)
 		for i := 1; i < n; i++ {
 			b.MustAddEdge(i, rng.Intn(i), 1)
 		}
@@ -331,7 +331,7 @@ func TestArcsByNeighborID(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 50; trial++ {
 		n := 2 + rng.Intn(40)
-		b := NewBuilder(n)
+		b := MustNewBuilder(n)
 		for i := 1; i < n; i++ {
 			b.MustAddEdge(i, rng.Intn(i), 1)
 		}

@@ -37,7 +37,7 @@ func bruteMinCut(tb testing.TB, g *graph.Graph) int64 {
 // internal edge weighs 10, so the bridge is the unique minimum cut.
 func bridgeGraph(tb testing.TB, w int64) *graph.Graph {
 	tb.Helper()
-	b := graph.NewBuilder(18)
+	b := graph.MustNewBuilder(18)
 	add := func(off int) {
 		for y := 0; y < 3; y++ {
 			for x := 0; x < 3; x++ {
@@ -111,7 +111,7 @@ func TestStoerWagnerKnownCuts(t *testing.T) {
 }
 
 func TestStoerWagnerErrors(t *testing.T) {
-	if _, _, err := StoerWagner(graph.NewBuilder(1).Finalize()); err == nil {
+	if _, _, err := StoerWagner(graph.MustNewBuilder(1).Finalize()); err == nil {
 		t.Error("single-node graph accepted")
 	}
 	g := gen.Path(3)
@@ -119,7 +119,7 @@ func TestStoerWagnerErrors(t *testing.T) {
 	if _, _, err := StoerWagner(g); err == nil {
 		t.Error("zero-weight edge accepted")
 	}
-	b := graph.NewBuilder(4)
+	b := graph.MustNewBuilder(4)
 	b.MustAddEdge(0, 1, 1)
 	b.MustAddEdge(2, 3, 1)
 	if got, _, err := StoerWagner(b.Finalize()); err != nil || got != 0 {
@@ -162,7 +162,7 @@ func TestGreedyPackProperties(t *testing.T) {
 			t.Fatalf("loads %v, membership recount %v", loads, recount)
 		}
 	}
-	b := graph.NewBuilder(4)
+	b := graph.MustNewBuilder(4)
 	b.MustAddEdge(0, 1, 1)
 	b.MustAddEdge(2, 3, 1)
 	if _, _, err := GreedyPack(b.Finalize(), 2); err == nil {
@@ -286,7 +286,7 @@ func TestRunFindsPlantedBridge(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, _, err := Run(graph.NewBuilder(1).Finalize(), 0, 1, Config{}, congest.Options{}); err == nil {
+	if _, _, err := Run(graph.MustNewBuilder(1).Finalize(), 0, 1, Config{}, congest.Options{}); err == nil {
 		t.Error("single-node graph accepted")
 	}
 	g := gen.Path(4)

@@ -111,7 +111,7 @@ func TestMSTWeightOfOverride(t *testing.T) {
 // TestBoruvkaCentralRejectsDisconnected covers the central verifier's
 // disconnection branch (Kruskal's is covered in mst_test.go).
 func TestBoruvkaCentralRejectsDisconnected(t *testing.T) {
-	b := graph.NewBuilder(4)
+	b := graph.MustNewBuilder(4)
 	b.MustAddEdge(0, 1, 1)
 	b.MustAddEdge(2, 3, 1)
 	if _, _, err := BoruvkaCentral(b.Finalize()); err == nil {

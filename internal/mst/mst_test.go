@@ -33,7 +33,7 @@ func TestKruskalMatchesBoruvkaCentral(t *testing.T) {
 }
 
 func TestKruskalRejectsDisconnected(t *testing.T) {
-	b := graph.NewBuilder(4)
+	b := graph.MustNewBuilder(4)
 	b.MustAddEdge(0, 1, 1)
 	b.MustAddEdge(2, 3, 1)
 	if _, _, err := Kruskal(b.Finalize()); err == nil {
@@ -106,7 +106,7 @@ func TestMSTWithDuplicateWeights(t *testing.T) {
 }
 
 func TestMSTSingleNodeAndEdge(t *testing.T) {
-	g1 := graph.NewBuilder(1).Finalize()
+	g1 := graph.MustNewBuilder(1).Finalize()
 	results, _, err := Run(g1, 0, 1, Config{Strategy: StrategyShortcut}, congest.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -99,13 +99,9 @@ func BuildMembership(ctx *congest.Ctx, ns *coredist.NodeShortcut, assign coredis
 		localMax = len(ns.ParentParts)
 	}
 	// Deterministic iteration: children in sorted order.
-	children := make([]graph.NodeID, 0, len(ns.ChildParts))
-	for ch := range ns.ChildParts {
-		children = append(children, ch)
-	}
-	sort.Ints(children)
-	for _, ch := range children {
-		parts := ns.ChildParts[ch]
+	for _, k := range ns.SortedChildIndices() {
+		parts := ns.ChildPartsAt(int(k))
+		ch := info.Children[k]
 		for _, i := range parts {
 			add(i)
 			m.ChildrenIn[i] = append(m.ChildrenIn[i], ch)
