@@ -9,6 +9,7 @@ import (
 	"lcshortcut/internal/congest"
 	"lcshortcut/internal/elect"
 	"lcshortcut/internal/graph"
+	"lcshortcut/internal/reliable"
 )
 
 // runElect is the elect subcommand: leader election on a CONGEST network with
@@ -29,6 +30,7 @@ func runElect(args []string, out io.Writer) error {
 		rotate      = fs.Bool("rotate", false, "fault plan: enable the inbox-rotation scheduler adversary")
 		faultSeed   = fs.Int64("fault-seed", 1, "fault plan seed (independent of -seed: same faults under any protocol randomness)")
 		require     = fs.Bool("require-agreement", false, "exit nonzero unless all surviving nodes agree on the leader")
+		rel         = fs.Bool("reliable", false, "run the flood over the per-arc reliable transport (retransmission defeats -drop; crash-stop nodes are excised)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -65,20 +67,40 @@ func runElect(args []string, out io.Writer) error {
 	}
 	skip := func(v graph.NodeID) bool { return dead[v] }
 	opts := congest.Options{Seed: *seed, Faults: plan}
+	if *rel && *protocol != "flood" {
+		return fmt.Errorf("-reliable applies to the flood protocol (for consensus over the transport, use the raft subcommand)")
+	}
 
 	switch *protocol {
 	case "flood":
 		r := *rounds
 		if r <= 0 {
 			r = 2*g.ApproxDiameter(0) + 8
+			if *rel && len(dead) > 0 {
+				// Crashes can sever shortcuts in the survivor graph, so the
+				// default diameter budget may fall short; n rounds always
+				// suffice for a flood to converge per component.
+				r = n + 2
+			}
 		}
 		outc := make([]elect.Outcome, n)
-		stats, err := congest.Run(g, elect.Flood(r, outc), opts)
-		if err != nil {
-			return err
+		if *rel {
+			stats, rstats, err := reliable.Run(g, func(ctx *reliable.Ctx) error {
+				return elect.FloodNet(ctx, r, outc)
+			}, reliable.Config{}, opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "flood-max election over reliable transport: n=%d m=%d, %d logical rounds in %d physical, %d messages, %d retransmits, %d dead arcs\n",
+				n, g.NumEdges(), rstats.LogicalRounds, rstats.PhysicalRounds, stats.Messages, rstats.Retransmits, rstats.DeadArcs)
+		} else {
+			stats, err := congest.Run(g, elect.Flood(r, outc), opts)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "flood-max election: n=%d m=%d, %d rounds simulated, %d messages\n",
+				n, g.NumEdges(), stats.Rounds, stats.Messages)
 		}
-		fmt.Fprintf(out, "flood-max election: n=%d m=%d, %d rounds simulated, %d messages\n",
-			n, g.NumEdges(), stats.Rounds, stats.Messages)
 		leader, ok := elect.Agreed(outc, skip)
 		if !ok {
 			fmt.Fprintf(out, "survivors SPLIT: no unanimous leader among %d live nodes\n", n-len(dead))

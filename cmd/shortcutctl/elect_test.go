@@ -35,6 +35,16 @@ func TestElectSubcommand(t *testing.T) {
 			args: []string{"-graph", "grid:6x6", "-protocol", "raft", "-rounds", "80", "-crash-frac", "0.1", "-crash-window", "30"},
 			want: []string{"fault plan:", "raft skeleton: n=36"},
 		},
+		{
+			name: "flood-reliable-lossy",
+			args: []string{"-graph", "grid:6x6", "-drop", "0.3", "-reliable", "-require-agreement"},
+			want: []string{"over reliable transport", "retransmits", "unanimous among 36 live nodes"},
+		},
+		{
+			name: "flood-reliable-crashy",
+			args: []string{"-graph", "grid:8x8", "-crash-frac", "0.1", "-drop", "0.2", "-reliable"},
+			want: []string{"fault plan:", "over reliable transport", "dead arcs"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -64,6 +74,7 @@ func TestElectSubcommandErrors(t *testing.T) {
 		{"unknown-protocol", []string{"-protocol", "paxos"}},
 		{"bad-graph", []string{"-graph", "klein:3x3"}},
 		{"stray-args", []string{"-graph", "grid:4x4", "extra"}},
+		{"reliable-raft", []string{"-graph", "grid:4x4", "-protocol", "raft", "-reliable"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -3,7 +3,8 @@
 // protocol), and reports its quality parameters. The mincut subcommand runs
 // the tree-packing minimum-cut application instead (see mincut.go); the
 // elect subcommand runs leader election under an optional fault plan
-// (see elect.go).
+// (see elect.go); the raft subcommand runs the committing Raft consensus
+// protocol over the reliable transport (see raft.go).
 //
 // Examples:
 //
@@ -13,6 +14,8 @@
 //	shortcutctl -graph grid:9x9 -partition snake:1 -render 0
 //	shortcutctl mincut -graph grid:8x8 -trees 3 -mode dist
 //	shortcutctl elect -graph er:200,0.05 -crash-frac 0.2 -drop 0.1 -rotate
+//	shortcutctl elect -graph grid:8x8 -drop 0.3 -reliable -require-agreement
+//	shortcutctl raft -graph grid:8x8 -entries 4 -crash-frac 0.15 -drop 0.3 -require-commit
 package main
 
 import (
@@ -41,6 +44,8 @@ func main() {
 		err = runMincut(args[1:], os.Stdout)
 	} else if len(args) > 0 && args[0] == "elect" {
 		err = runElect(args[1:], os.Stdout)
+	} else if len(args) > 0 && args[0] == "raft" {
+		err = runRaft(args[1:], os.Stdout)
 	} else {
 		err = run(args, os.Stdout)
 	}

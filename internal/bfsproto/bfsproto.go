@@ -68,7 +68,7 @@ func (m doneMsg) Bits() int { return 3*congest.BitsForID(m.n) + 64 }
 // root chooses the tree root; seed is the value the root disseminates as
 // shared randomness (only the root's argument matters, mirroring a root
 // that locally draws the seed).
-func Phase(ctx *congest.Ctx, root graph.NodeID, seed int64) (*Info, error) {
+func Phase(ctx congest.Net, root graph.NodeID, seed int64) (*Info, error) {
 	info := &Info{Root: root, Parent: -1, ParentArc: -1, Depth: -1}
 	n := ctx.N()
 

@@ -128,6 +128,56 @@ func TestAllocGuardPackingTraffic(t *testing.T) {
 	}
 }
 
+// radioBroadcastProc saturates the radio channel: every node transmits every
+// round and polls the receiver — maximum traffic through the tx arenas.
+func radioBroadcastProc(rounds int) congest.Proc {
+	return func(ctx *congest.Ctx) error {
+		for r := 0; r < rounds; r++ {
+			ctx.Transmit(pulse{})
+			ctx.Step()
+			ctx.RadioRecv()
+		}
+		return nil
+	}
+}
+
+// TestAllocGuardRadio pins the radio model's steady state: Transmit is one
+// arena store and RadioRecv a scan, so a saturated radio round must allocate
+// nothing — and, since the tx arenas are pooled with the run state, neither
+// may repeated radio runs beyond the first.
+func TestAllocGuardRadio(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineEventLoop)
+	defer congest.SetEngine(prev)
+	opts := congest.Options{Seed: 3, Model: congest.ModelRadio}
+	if per := perRoundAllocs(t, gen.Grid(16, 16), opts, radioBroadcastProc); per > 0.02 {
+		t.Errorf("radio broadcast steady state allocates %.3f allocs/round, want 0", per)
+	}
+}
+
+// TestAllocGuardCrashRecovery pins that crash-recovery costs only its
+// events, not the steady state: a plan with rejoining nodes (all crash and
+// rejoin activity inside a fixed prefix window, identical at both run
+// lengths) must keep the per-round delta at zero — downtime barriers and
+// restarted incarnations run on the same pooled state.
+func TestAllocGuardCrashRecovery(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineEventLoop)
+	defer congest.SetEngine(prev)
+	g := gen.Grid(16, 16)
+	opts := congest.Options{Seed: 3, Faults: &congest.FaultPlan{
+		Crashes: congest.RandomRecoveries(g.NumNodes(), 0.1, 8, 12, 0, 5),
+		Seed:    9,
+	}}
+	if per := perRoundAllocs(t, g, opts, engbench.BroadcastProc); per > 0.02 {
+		t.Errorf("crash-recovery steady state allocates %.3f allocs/round, want 0", per)
+	}
+}
+
 // TestAllocGuardTokenRing is the sparse-traffic guard: a single circulating
 // token must not make idle mailboxes allocate (the pre-rewrite engine's
 // per-round inbox sweep allocated regardless of traffic).

@@ -82,6 +82,11 @@ type Options struct {
 	// Seed derives every node-local random source. Runs with equal seeds are
 	// identical.
 	Seed int64
+	// Model selects the communication model: ModelCongest (the default) is
+	// classic per-edge message passing, ModelRadio replaces Send/Inbox with
+	// the single-channel radio primitive Transmit/RadioRecv in which
+	// simultaneous neighbor transmissions collide (see radio.go).
+	Model Model
 	// Faults optionally plugs a deterministic fault plan into the run:
 	// seeded crash-stop node failures, per-message loss and an adversarial
 	// inbox schedule (see FaultPlan). nil selects the process-wide default
@@ -180,6 +185,9 @@ func RunOn(e Engine, g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 	if err := opts.Faults.validate(g.NumNodes()); err != nil {
 		return Stats{}, err
 	}
+	if opts.Model != ModelCongest && opts.Model != ModelRadio {
+		return Stats{}, fmt.Errorf("congest: unknown Options.Model %d", opts.Model)
+	}
 	if e == EngineChannel {
 		return runChannel(g, proc, opts)
 	}
@@ -214,10 +222,16 @@ type Ctx struct {
 	lo     int32
 	round  int
 	idBits int
-	// crashAt is the node's scheduled crash-stop round (noCrash when the
-	// fault plan never crashes it): the node behaves normally through round
-	// crashAt-1 and never sends, receives or steps from round crashAt on.
-	crashAt int32
+	model  Model
+	// crashAt is the node's scheduled crash round (noCrash when the fault
+	// plan never crashes it): the node behaves normally through round
+	// crashAt-1 and never sends, receives or steps in rounds
+	// [crashAt, rejoinAt). rejoinAt is noCrash for a crash-stop entry; a
+	// crash-recovery entry sets it to crashAt+Downtime, the round at which
+	// the Proc restarts as incarnation+1 with fresh state.
+	crashAt     int32
+	rejoinAt    int32
+	incarnation int32
 
 	// Barrier state (event-loop engine).
 	arrival int32
@@ -271,6 +285,20 @@ func (c *Ctx) ArcIndex(to graph.NodeID) int {
 // Rand returns the node-local deterministic random source.
 func (c *Ctx) Rand() *rand.Rand { return c.rng }
 
+// Incarnation reports how many times this node has crash-recovered: 0 for
+// the original execution, k for the Proc's k-th restart. A Proc seeing a
+// positive incarnation knows its state was wiped by a crash and can run a
+// state-sync path against its neighbors (the network never announces the
+// rejoin on its own).
+func (c *Ctx) Incarnation() int { return int(c.incarnation) }
+
+// down reports whether the node is inside its crash window — from its crash
+// round up to (exclusive) its rejoin round. A fault-free node short-circuits
+// on the first compare (crashAt is the noCrash sentinel).
+func (c *Ctx) down() bool {
+	return int32(c.round) >= c.crashAt && int32(c.round) < c.rejoinAt
+}
+
 // EdgeWeight returns the weight of edge id (edge weights are part of a
 // node's local input for its incident edges).
 func (c *Ctx) EdgeWeight(id graph.EdgeID) int64 { return c.g.Edge(id).W }
@@ -282,8 +310,8 @@ func (c *Ctx) EdgeWeight(id graph.EdgeID) int64 { return c.g.Edge(id).W }
 // code, surfaced as errors from Run). Protocols on a hot path should resolve
 // the neighbor once with ArcIndex and use SendArc instead.
 func (c *Ctx) Send(to graph.NodeID, p Payload) {
-	if int32(c.round) >= c.crashAt {
-		return // crash-stop: a dead node's sends are lost (and can't violate)
+	if c.down() {
+		return // crashed: a dead node's sends are lost (and can't violate)
 	}
 	idx := c.ArcIndex(to)
 	if idx == -1 {
@@ -296,8 +324,11 @@ func (c *Ctx) Send(to graph.NodeID, p Payload) {
 // Neighbors()) for delivery at the next barrier — the O(1) fast path behind
 // Send, enforcing the same per-edge-direction and message-size budgets.
 func (c *Ctx) SendArc(k int, p Payload) {
-	if int32(c.round) >= c.crashAt {
-		return // crash-stop: a dead node's sends are lost (and can't violate)
+	if c.model != ModelCongest {
+		c.fail(fmt.Errorf("%w: node %d called SendArc under ModelRadio in round %d", ErrModelViolation, c.id, c.round))
+	}
+	if c.down() {
+		return // crashed: a dead node's sends are lost (and can't violate)
 	}
 	if uint(k) >= uint(len(c.arcs)) {
 		c.fail(fmt.Errorf("%w: node %d sent on invalid arc index %d (degree %d) in round %d",
@@ -338,8 +369,11 @@ func (c *Ctx) SendArc(k int, p Payload) {
 // with the budget checks hoisted out of the loop — the broadcast-flood fast
 // path.
 func (c *Ctx) SendAll(p Payload) {
-	if int32(c.round) >= c.crashAt {
-		return // crash-stop: a dead node's sends are lost (and can't violate)
+	if c.model != ModelCongest {
+		c.fail(fmt.Errorf("%w: node %d called SendAll under ModelRadio in round %d", ErrModelViolation, c.id, c.round))
+	}
+	if c.down() {
+		return // crashed: a dead node's sends are lost (and can't violate)
 	}
 	if c.leg != nil {
 		for i := range c.arcs {
@@ -384,6 +418,9 @@ func (c *Ctx) SendAll(p Payload) {
 // start of round r+1. The returned slice is reused: it is valid only until
 // the node's next Step/StepRound.
 func (c *Ctx) StepRound() []Message {
+	if c.model != ModelCongest {
+		c.fail(fmt.Errorf("%w: node %d called StepRound under ModelRadio in round %d (use Step + RadioRecv)", ErrModelViolation, c.id, c.round))
+	}
 	c.maybeCrash()
 	if c.leg != nil {
 		return c.leg.step(c)
@@ -403,15 +440,23 @@ func (c *Ctx) Step() {
 	c.stepBarrier()
 }
 
-// maybeCrash enforces the node's scheduled crash-stop at the barrier ending
-// round crashAt-1: the node arrives as a finished node — its buffered sends
-// from the completed round are still delivered, matching the "final sends"
-// convention — and its goroutine unwinds without ever entering round
-// crashAt. On the fault-free path crashAt is the noCrash sentinel and the
-// check is one never-taken branch.
+// maybeCrash enforces the node's scheduled crash at the barrier ending round
+// crashAt-1. A crash-stop node arrives as a finished node — its buffered
+// sends from the completed round are still delivered, matching the "final
+// sends" convention — and its goroutine unwinds without ever entering round
+// crashAt. A crash-recovery node unwinds the Proc the same way but does NOT
+// arrive here: its goroutine wrapper catches errCrashedRecover, joins this
+// same barrier as a stepping node (so the final sends are delivered
+// identically) and keeps stepping silently until the rejoin round. On the
+// fault-free path crashAt is the noCrash sentinel and the check is one
+// never-taken branch; a rejoined node additionally fails the rejoinAt
+// compare so it can never crash twice.
 func (c *Ctx) maybeCrash() {
-	if int32(c.round)+1 < c.crashAt {
+	if int32(c.round)+1 < c.crashAt || int32(c.round) >= c.rejoinAt {
 		return
+	}
+	if c.rejoinAt != noCrash {
+		panic(errCrashedRecover)
 	}
 	if c.leg != nil {
 		c.leg.run.yield <- yieldSignal{id: c.id, kind: yieldDone}
@@ -426,8 +471,11 @@ func (c *Ctx) maybeCrash() {
 // is valid between a Step (or StepRound) and the node's next barrier. An
 // out-of-range index is a model violation, mirroring SendArc.
 func (c *Ctx) InboxArc(k int) (Payload, bool) {
-	if int32(c.round) >= c.crashAt {
-		return nil, false // crash-stop: a dead node's slots stop delivering
+	if c.model != ModelCongest {
+		c.fail(fmt.Errorf("%w: node %d called InboxArc under ModelRadio in round %d", ErrModelViolation, c.id, c.round))
+	}
+	if c.down() {
+		return nil, false // crashed: a dead node's slots stop delivering
 	}
 	if uint(k) >= uint(len(c.arcs)) {
 		c.fail(fmt.Errorf("%w: node %d read invalid arc index %d (degree %d) in round %d",
@@ -549,6 +597,11 @@ type runState struct {
 	// simply never match, so nothing is cleared between rounds.
 	stamp [2][]int32
 	pay   [2][]Payload
+	// txStamp/txPay are the radio-model transmission arenas (one slot per
+	// node, parity-doubled and epoch-stamped like the mailbox arenas; see
+	// radio.go). They are grown only for ModelRadio runs.
+	txStamp [2][]int32
+	txPay   [2][]Payload
 	// Fault-layer state (see fault.go). dropMask mirrors the stamp arenas:
 	// a slot whose mask equals the current stamp holds a message the lossy
 	// network swallowed — charged to the sender, invisible to both read
@@ -658,24 +711,95 @@ func runEventLoop(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 }
 
 // nodeMain is the per-node goroutine wrapper: it converts proc errors and
-// panics into fail arrivals and normal returns into done arrivals.
+// panics into fail arrivals and normal returns into done arrivals. A
+// crash-recovery crash restarts proc after the downtime window, so the loop
+// runs once per incarnation.
 func nodeMain(c *Ctx, proc Proc) {
 	defer c.run.wg.Done()
-	defer func() {
-		if r := recover(); r != nil {
-			if err, ok := r.(error); ok && (errors.Is(err, errAbort) || errors.Is(err, errCrashed)) {
-				return // engine-initiated unwind (abort or scheduled crash-stop)
-			}
-			c.err = fmt.Errorf("congest: node %d panicked: %v", c.id, r)
-			c.arrive(arriveFail)
+	for {
+		if !runProcOnce(c, proc) {
+			return
 		}
+		// Crash with scheduled recovery: the node stays in the live set,
+		// stepping silently through its downtime (the first barrier below is
+		// the crash barrier itself, delivering the final-round sends), then
+		// restarts as a fresh incarnation.
+		if !downUntilRejoin(c) {
+			return // the run aborted while the node was down
+		}
+		c.restart()
+	}
+}
+
+// runProcOnce runs one incarnation of proc, classifying its exit: normal
+// return and error/panic arrivals end the node (false); a crash with a
+// scheduled recovery asks nodeMain to restart it (true).
+func runProcOnce(c *Ctx, proc Proc) (restart bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if err, ok := r.(error); ok {
+			switch {
+			case errors.Is(err, errAbort), errors.Is(err, errCrashed):
+				return // engine-initiated unwind (abort or crash-stop)
+			case errors.Is(err, errCrashedRecover):
+				restart = true
+				return
+			}
+		}
+		if err, ok := r.(error); ok {
+			// Keep the chain inspectable: a transport wrapper panicking a
+			// model violation surfaces as errors.Is(err, ErrModelViolation).
+			c.err = fmt.Errorf("congest: node %d panicked: %w", c.id, err)
+		} else {
+			c.err = fmt.Errorf("congest: node %d panicked: %v", c.id, r)
+		}
+		c.arrive(arriveFail)
 	}()
 	if err := proc(c); err != nil {
 		c.err = fmt.Errorf("congest: node %d: %w", c.id, err)
 		c.arrive(arriveFail)
-		return
+		return false
 	}
 	c.arrive(arriveDone)
+	return false
+}
+
+// downUntilRejoin steps a crashed node silently through its downtime window
+// on the event-loop engine. It reports false when the run aborted while the
+// node was down.
+func downUntilRejoin(c *Ctx) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, isErr := r.(error); isErr && errors.Is(err, errAbort) {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	for int32(c.round) < c.rejoinAt {
+		c.stepBarrier()
+	}
+	return true
+}
+
+// restart rewinds a node for its next incarnation: the Proc will be invoked
+// again from the top with Round() at the rejoin round, Incarnation()
+// incremented and the random source reseeded as a pure function of
+// (Options.Seed, node ID, incarnation) — so a restarted node's behavior does
+// not depend on how many random draws its previous life consumed.
+func (c *Ctx) restart() {
+	c.incarnation++
+	var seed int64
+	if c.leg != nil {
+		seed = c.leg.run.opts.Seed
+	} else {
+		seed = c.run.opts.Seed
+	}
+	c.rngSrc.Seed(mix(mix(seed, int64(c.id)), int64(c.incarnation)))
 }
 
 // acquireRun takes a runState from the pool and sizes/resets it for g. All
@@ -692,6 +816,12 @@ func acquireRun(g *graph.Graph, opts Options) *runState {
 	for i := range rs.stamp {
 		rs.stamp[i] = growInt32(rs.stamp[i], numArcs)
 		rs.pay[i] = growPayload(rs.pay[i], numArcs)
+	}
+	if opts.Model == ModelRadio {
+		for i := range rs.txStamp {
+			rs.txStamp[i] = growInt32(rs.txStamp[i], n)
+			rs.txPay[i] = growPayload(rs.txPay[i], n)
+		}
 	}
 	plan := opts.Faults
 	rs.dropThresh = plan.dropThreshold()
@@ -730,7 +860,10 @@ func acquireRun(g *graph.Graph, opts Options) *runState {
 		nd.lo = lo
 		nd.round = 0
 		nd.idBits = idBits
+		nd.model = opts.Model
 		nd.crashAt = noCrash
+		nd.rejoinAt = noCrash
+		nd.incarnation = 0
 		nd.arrival = 0
 		nd.err = nil
 		nd.inbox = nd.inbox[:0]
@@ -749,8 +882,11 @@ func acquireRun(g *graph.Graph, opts Options) *runState {
 	}
 	if plan != nil {
 		for _, cr := range plan.Crashes {
+			// The earliest crash round wins; among equal rounds the first
+			// entry wins (its Downtime rides along).
 			if nd := &rs.nodes[cr.Node]; int32(cr.Round) < nd.crashAt {
 				nd.crashAt = int32(cr.Round)
+				nd.rejoinAt = cr.rejoinRound()
 			}
 		}
 	}
@@ -784,6 +920,19 @@ func releaseRun(rs *runState) {
 			}
 		}
 		rs.dropThresh = 0
+	}
+	if rs.opts.Model == ModelRadio {
+		// Only a radio run writes the transmission arenas; scrub stamps and
+		// payload references like the mailbox arenas above.
+		for i := range rs.txStamp {
+			st, pay := rs.txStamp[i], rs.txPay[i]
+			for k := range st {
+				st[k] = 0
+			}
+			for k := range pay {
+				pay[k] = nil
+			}
+		}
 	}
 	n := rs.g.NumNodes()
 	for v := 0; v < n; v++ {

@@ -65,6 +65,11 @@ type legacyRun struct {
 	dropThresh uint64
 	faultSeed  int64
 	adversary  Adversary
+	// txStamp/txPay are the radio-model transmission arenas (see radio.go);
+	// node goroutines access them through the shared Ctx radio code path, with
+	// the coordinator's channel handoffs providing the happens-before edges.
+	txStamp [2][]int32
+	txPay   [2][]Payload
 }
 
 // sendIdx buffers a message to the neighbor at arc index idx, enforcing the
@@ -138,16 +143,26 @@ func runChannel(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 	if plan != nil {
 		rs.faultSeed, rs.adversary = plan.Seed, plan.Adversary
 	}
+	if opts.Model == ModelRadio {
+		for i := range rs.txStamp {
+			rs.txStamp[i] = make([]int32, n)
+			rs.txPay[i] = make([]Payload, n)
+		}
+	}
 	idBits := BitsForID(n)
 	for v := 0; v < n; v++ {
+		src := rand.NewSource(mix(opts.Seed, int64(v)))
 		rs.nodes[v] = &Ctx{
-			id:      v,
-			g:       g,
-			rng:     rand.New(rand.NewSource(mix(opts.Seed, int64(v)))),
-			arcs:    g.AppendArcs(make([]graph.Arc, 0, g.Degree(v)), v),
-			idBits:  idBits,
-			lo:      g.ArcOffset(v),
-			crashAt: noCrash,
+			id:       v,
+			g:        g,
+			rng:      rand.New(src),
+			rngSrc:   src,
+			arcs:     g.AppendArcs(make([]graph.Arc, 0, g.Degree(v)), v),
+			idBits:   idBits,
+			model:    opts.Model,
+			lo:       g.ArcOffset(v),
+			crashAt:  noCrash,
+			rejoinAt: noCrash,
 			leg: &legacyNode{
 				run:    rs,
 				resume: make(chan []Message, 1),
@@ -157,28 +172,16 @@ func runChannel(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 	}
 	if plan != nil {
 		for _, cr := range plan.Crashes {
+			// Earliest crash round wins, first entry among equal rounds —
+			// mirroring acquireRun exactly.
 			if nd := rs.nodes[cr.Node]; int32(cr.Round) < nd.crashAt {
 				nd.crashAt = int32(cr.Round)
+				nd.rejoinAt = cr.rejoinRound()
 			}
 		}
 	}
 	for v := 0; v < n; v++ {
-		go func(ctx *Ctx) {
-			defer func() {
-				if r := recover(); r != nil {
-					if err, ok := r.(error); ok && (errors.Is(err, errAbort) || errors.Is(err, errCrashed)) {
-						return // engine-initiated unwind (crash already yielded done)
-					}
-					rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d panicked: %v", ctx.id, r)}
-					return
-				}
-			}()
-			if err := proc(ctx); err != nil {
-				rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d: %w", ctx.id, err)}
-				return
-			}
-			rs.yield <- yieldSignal{id: ctx.id, kind: yieldDone}
-		}(rs.nodes[v])
+		go legacyNodeMain(rs, rs.nodes[v], proc)
 	}
 	return coordinate(rs)
 }
@@ -241,6 +244,17 @@ func coordinate(rs *legacyRun) (Stats, error) {
 		}
 		// Deliver: iterate senders in ID order for deterministic inboxes.
 		for id, ctx := range rs.nodes {
+			// Radio transmissions are charged through the Ctx pending
+			// counters (they have no outMsg); flush them exactly where the
+			// sends below are counted so both engines account alike.
+			if ctx.pMsgs != 0 {
+				stats.Messages += ctx.pMsgs
+				stats.TotalBits += ctx.pBits
+				if ctx.pMax > stats.MaxMessageBits {
+					stats.MaxMessageBits = ctx.pMax
+				}
+				ctx.pMsgs, ctx.pBits, ctx.pMax = 0, 0, 0
+			}
 			for _, m := range ctx.leg.out {
 				// A dropped message is still charged to the sender — Stats
 				// count sends, the model's cost — but never delivered.
@@ -269,4 +283,68 @@ func coordinate(rs *legacyRun) (Stats, error) {
 		}
 	}
 	return stats, nil
+}
+
+// legacyNodeMain mirrors nodeMain for the channel engine: one proc run per
+// incarnation, with crash-recovery downtimes stepped silently in between.
+func legacyNodeMain(rs *legacyRun, ctx *Ctx, proc Proc) {
+	for {
+		if !legacyRunProcOnce(rs, ctx, proc) {
+			return
+		}
+		if !legacyDownUntilRejoin(ctx) {
+			return // the run aborted while the node was down
+		}
+		ctx.restart()
+	}
+}
+
+// legacyRunProcOnce runs one incarnation of proc under the channel engine,
+// reporting whether nodeMain should restart it after a recovery downtime.
+func legacyRunProcOnce(rs *legacyRun, ctx *Ctx, proc Proc) (restart bool) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if err, ok := r.(error); ok {
+			switch {
+			case errors.Is(err, errAbort), errors.Is(err, errCrashed):
+				return // engine-initiated unwind (crash-stop already yielded done)
+			case errors.Is(err, errCrashedRecover):
+				restart = true
+				return
+			}
+		}
+		if err, ok := r.(error); ok {
+			rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d panicked: %w", ctx.id, err)}
+			return
+		}
+		rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d panicked: %v", ctx.id, r)}
+	}()
+	if err := proc(ctx); err != nil {
+		rs.yield <- yieldSignal{id: ctx.id, kind: yieldFail, err: fmt.Errorf("congest: node %d: %w", ctx.id, err)}
+		return false
+	}
+	rs.yield <- yieldSignal{id: ctx.id, kind: yieldDone}
+	return false
+}
+
+// legacyDownUntilRejoin steps a crashed node silently through its downtime
+// window (the first step is the crash barrier itself, delivering the final
+// sends); false means the run aborted while the node was down.
+func legacyDownUntilRejoin(ctx *Ctx) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if err, isErr := r.(error); isErr && errors.Is(err, errAbort) {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	for int32(ctx.round) < ctx.rejoinAt {
+		ctx.leg.step(ctx)
+	}
+	return true
 }

@@ -90,23 +90,31 @@ func Agreed(out []Outcome, skip func(graph.NodeID) bool) (graph.NodeID, bool) {
 // crash-stop failures survivors agree on the best ballot that reached them.
 func Flood(rounds int, out []Outcome) congest.Proc {
 	return func(ctx *congest.Ctx) error {
-		bits := rankBits(ctx.IDBits()) + ctx.IDBits()
-		best := ballot{
-			rank: ctx.Rand().Uint64() >> (64 - uint(rankBits(ctx.IDBits()))),
-			id:   ctx.ID(),
-			bits: bits,
-		}
-		last := 0
-		for r := 0; r < rounds; r++ {
-			ctx.SendAll(best)
-			for _, m := range ctx.StepRound() {
-				if b := m.Payload.(ballot); b.beats(best) {
-					best = b
-					last = r + 1
-				}
+		return FloodNet(ctx, rounds, out)
+	}
+}
+
+// FloodNet is the flood-max election against the abstract transport surface:
+// it runs on a raw *congest.Ctx (via Flood) and unmodified over wrappers
+// like reliable.Ctx, where the loss-tolerance of per-round re-broadcast is
+// replaced by the transport's retransmission guarantee.
+func FloodNet(ctx congest.Net, rounds int, out []Outcome) error {
+	bits := rankBits(ctx.IDBits()) + ctx.IDBits()
+	best := ballot{
+		rank: ctx.Rand().Uint64() >> (64 - uint(rankBits(ctx.IDBits()))),
+		id:   ctx.ID(),
+		bits: bits,
+	}
+	last := 0
+	for r := 0; r < rounds; r++ {
+		ctx.SendAll(best)
+		for _, m := range ctx.StepRound() {
+			if b := m.Payload.(ballot); b.beats(best) {
+				best = b
+				last = r + 1
 			}
 		}
-		out[ctx.ID()] = Outcome{Leader: best.id, Rank: best.rank, LastChange: last}
-		return nil
 	}
+	out[ctx.ID()] = Outcome{Leader: best.id, Rank: best.rank, LastChange: last}
+	return nil
 }

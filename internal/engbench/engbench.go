@@ -43,6 +43,8 @@ import (
 	"lcshortcut/internal/graph"
 	"lcshortcut/internal/mincut"
 	"lcshortcut/internal/partition"
+	"lcshortcut/internal/radio"
+	"lcshortcut/internal/reliable"
 	"lcshortcut/internal/scenario"
 	"lcshortcut/internal/tree"
 )
@@ -192,6 +194,78 @@ func faultyElectOn(family string, n int, seed int64) Scenario {
 	}
 }
 
+// reliableBroadcastOn builds the flood over the per-arc reliable transport on
+// a 10%-lossy link plan: the measurement covers the transport end to end —
+// framing, cumulative-ACK piggybacking, backoff retransmission — on top of
+// whichever engine is selected, so it tracks the tolerant stack's overhead
+// next to the raw broadcast recorded above.
+func reliableBroadcastOn(family string, n int, seed int64) Scenario {
+	const floodSteps = 24
+	name, g := graphOf(family, n, seed)
+	plan := &congest.FaultPlan{DropProb: 0.1, Seed: 11}
+	return Scenario{
+		Name:  "reliable/broadcast-" + name,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			stats, _, err := reliable.Run(g, func(ctx *reliable.Ctx) error {
+				for r := 0; r < floodSteps; r++ {
+					ctx.SendAll(beat{})
+					ctx.StepRound()
+				}
+				return nil
+			}, reliable.Config{}, congest.Options{Seed: 1, Faults: plan})
+			return stats, err
+		},
+	}
+}
+
+// raftCommitOn builds the committing-Raft consensus workload: a full
+// election-plus-replication run to a committed log, fault-free, with
+// diameter-tuned timing. The heaviest per-round payloads in the repo (full
+// log views, freshly copied each round) make this the gossip-bandwidth
+// stress test — tens of seconds and ~13GB allocated per run at n=1024, so
+// it is Heavy: recorded in the full baseline, skipped by the smoke gate.
+func raftCommitOn(family string, n int, seed int64) Scenario {
+	name, g := graphOf(family, n, seed)
+	var once sync.Once
+	var cfg elect.RaftLogConfig
+	return Scenario{
+		Name:  "raft/commit-" + name,
+		Heavy: true,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			once.Do(func() {
+				cfg = elect.RaftLogConfig{Entries: 4}.TunedFor(g.ApproxDiameter(0))
+			})
+			out := make([]elect.RaftLogOutcome, g.NumNodes())
+			return congest.Run(g, func(ctx *congest.Ctx) error {
+				return elect.RaftLogNet(ctx, cfg, out)
+			}, congest.Options{Seed: 1})
+		},
+	}
+}
+
+// radioBroadcastOn builds the Decay broadcast on the collision channel: every
+// round resolves contention across each receiver's whole neighborhood, so the
+// radio inbox path is the measured cost.
+func radioBroadcastOn(family string, n int, seed int64) Scenario {
+	name, g := graphOf(family, n, seed)
+	var once sync.Once
+	var cfg radio.DecayConfig
+	return Scenario{
+		Name:  "radio/broadcast-" + name,
+		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			once.Do(func() {
+				cfg = radio.DecayConfig{Phases: 2*g.ApproxDiameter(0) + 10}
+			})
+			out := make([]radio.DecayOutcome, g.NumNodes())
+			return congest.Run(g, radio.Decay(cfg, out),
+				congest.Options{Seed: 1, Model: congest.ModelRadio})
+		},
+	}
+}
+
 // bfsOpenOn builds a BFS-opening workload on a registry family.
 func bfsOpenOn(family string, n int, seed int64, heavy bool) Scenario {
 	name, g := graphOf(family, n, seed)
@@ -271,6 +345,14 @@ func Scenarios() []Scenario {
 		faultyBroadcastOn("grid", floodN, 5),
 		faultyBroadcastOn("er-dense", floodN, 5),
 		faultyElectOn("grid", ringN, 5),
+	)
+	// The tolerant stack (PR 8): the reliable-transport flood, a full
+	// committing-Raft consensus run, and the Decay broadcast on the radio
+	// collision channel.
+	suite = append(suite,
+		reliableBroadcastOn("grid", floodN, 5),
+		raftCommitOn("grid", ringN, 5),
+		radioBroadcastOn("er-sparse", floodN, 5),
 	)
 	ringName, ringGraph := graphOf("ring", ringN, 1)
 	suite = append(suite, Scenario{

@@ -27,11 +27,12 @@ func TestSuiteShape(t *testing.T) {
 			t.Errorf("scenario name %q not of the form proto/family-nN", sc.Name)
 			continue
 		}
-		if proto == "faulty" {
-			// Faulty workloads embed the wrapped protocol:
-			// faulty/<proto>-<family>-nN.
+		switch proto {
+		case "faulty", "reliable", "raft", "radio":
+			// These groups embed the wrapped workload:
+			// <group>/<workload>-<family>-nN.
 			if _, rest, ok = strings.Cut(rest, "-"); !ok {
-				t.Errorf("scenario name %q not of the form faulty/proto-family-nN", sc.Name)
+				t.Errorf("scenario name %q not of the form %s/workload-family-nN", sc.Name, proto)
 				continue
 			}
 		}

@@ -145,11 +145,12 @@ func Select(ids []string) ([]*Experiment, error) {
 // Package-level vars are initialized before init functions run, so the
 // registration order here — not file order — defines presentation order:
 // the paper's tables E1…E9 and F1, then the scenario-registry sweeps S1/S2,
-// then the min-cut application sweep M1 and the fault-injection sweep FT1.
+// then the min-cut application sweep M1 and the fault sweeps FT1 (injection)
+// and FT2 (tolerance).
 func init() {
 	for _, e := range []*Experiment{
 		expE1, expE2, expE3, expE4, expE5, expE6, expE7, expE8, expE9, expF1,
-		expS1, expS2, expM1, expFT1,
+		expS1, expS2, expM1, expFT1, expFT2,
 	} {
 		Register(e)
 	}

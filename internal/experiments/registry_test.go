@@ -12,7 +12,7 @@ var monolithIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
 
 // allIDs is the full expected registry: the monolith tables followed by the
 // scenario-registry sweeps and the min-cut application sweep.
-var allIDs = append(append([]string{}, monolithIDs...), "S1", "S2", "M1", "FT1")
+var allIDs = append(append([]string{}, monolithIDs...), "S1", "S2", "M1", "FT1", "FT2")
 
 func TestRegistryCompleteness(t *testing.T) {
 	if got := IDs(); !reflect.DeepEqual(got, allIDs) {

@@ -26,7 +26,7 @@ func (m annMsg) Bits() int { return 3*congest.BitsForID(m.n) + 1 }
 // depth(T) + CMax rounds — Annotate runs exactly CastBudget rounds and
 // errors if anything is left undelivered (which would disprove the bound).
 // All nodes enter and leave aligned.
-func (m *Membership) Annotate(ctx *congest.Ctx) error {
+func (m *Membership) Annotate(ctx congest.Net) error {
 	// Roots know themselves.
 	for _, i := range m.Parts {
 		if !m.ParentIn[i] {

@@ -68,7 +68,7 @@ func (m exchMsg) Bits() int { return 1 + m.val.Bits() }
 // Gather and Scatter read only the tree arcs their traffic can arrive on
 // (InboxArc fast path); stray traffic on other arcs during the cast window
 // is ignored rather than reported, relying on the phase-alignment contract.
-func (m *Membership) Gather(ctx *congest.Ctx, own func(part int) Value, combine func(a, b Value) Value, extraRounds int) (map[int]Value, error) {
+func (m *Membership) Gather(ctx congest.Net, own func(part int) Value, combine func(a, b Value) Value, extraRounds int) (map[int]Value, error) {
 	acc := make(map[int]Value, len(m.Parts))
 	await := make(map[int]int, len(m.Parts))
 	unsent := make([]int, len(m.Parts))
@@ -133,7 +133,7 @@ func (m *Membership) Gather(ctx *congest.Ctx, own func(part int) Value, combine 
 // Scatter is the broadcast half of Lemma 2: each block root disseminates
 // atRoot(part) to every member of its block. Returns the per-part value this
 // node received (roots included). All nodes enter and leave aligned.
-func (m *Membership) Scatter(ctx *congest.Ctx, atRoot func(part int) Value, extraRounds int) (map[int]Value, error) {
+func (m *Membership) Scatter(ctx congest.Net, atRoot func(part int) Value, extraRounds int) (map[int]Value, error) {
 	got := make(map[int]Value, len(m.Parts))
 	// pending[child] = parts still to forward down that edge.
 	pending := make(map[graph.NodeID][]int, len(m.ChildrenIn))
@@ -198,7 +198,7 @@ func (m *Membership) Scatter(ctx *congest.Ctx, atRoot func(part int) Value, extr
 // to each neighbor inside its part and receives theirs. Vertices may pass
 // val == nil to stay silent; uncovered vertices always do. Returns values
 // keyed by sender. All nodes enter and leave aligned (exactly one round).
-func (m *Membership) Exchange(ctx *congest.Ctx, val Value) (map[graph.NodeID]Value, error) {
+func (m *Membership) Exchange(ctx congest.Net, val Value) (map[graph.NodeID]Value, error) {
 	if m.OwnPart != partition.None && val != nil {
 		for k := range ctx.Neighbors() {
 			if m.nbrPart[k] == m.OwnPart {

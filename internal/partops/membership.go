@@ -66,7 +66,7 @@ func (m partAnnounce) Bits() int { return congest.BitsForID(m.n) + 1 }
 // announces parts to neighbors (1 round) and aggregates the global
 // per-edge-part-count maximum (2·depth(T)+3 rounds). All nodes must call it
 // aligned; they leave aligned.
-func BuildMembership(ctx *congest.Ctx, ns *coredist.NodeShortcut, assign coredist.PartAssign) (*Membership, error) {
+func BuildMembership(ctx congest.Net, ns *coredist.NodeShortcut, assign coredist.PartAssign) (*Membership, error) {
 	info := ns.Info
 	m := &Membership{
 		Info:         info,

@@ -18,7 +18,7 @@ import (
 // elsewhere) and idempotent convergecast (init = member values). init need
 // not be uniform within a block — the first intra-block cast folds it.
 // All nodes enter and leave aligned: steps·(2·CastBudget+1) rounds.
-func (m *Membership) SpreadMin(ctx *congest.Ctx, init func(part int) Value, less func(a, b Value) bool, steps int) (map[int]Value, error) {
+func (m *Membership) SpreadMin(ctx congest.Net, init func(part int) Value, less func(a, b Value) bool, steps int) (map[int]Value, error) {
 	minC := func(a, b Value) Value {
 		if less(b, a) {
 			return b
@@ -67,7 +67,7 @@ func lessID(a, b Value) bool { return a.(IDVal).V < b.(IDVal).V }
 // of part i knows the part's leader — the minimum block-root ID. steps must
 // be at least the part's block count (the block parameter b) for the result
 // to be globally consistent; VerifyBlockCount detects when it is not.
-func (m *Membership) ElectLeaders(ctx *congest.Ctx, steps int) (map[int]int64, error) {
+func (m *Membership) ElectLeaders(ctx congest.Net, steps int) (map[int]int64, error) {
 	res, err := m.SpreadMin(ctx, func(i int) Value {
 		return IDVal{V: int64(m.RootID[i]), N: m.Info.Count}
 	}, lessID, steps)
@@ -86,7 +86,7 @@ func (m *Membership) ElectLeaders(ctx *congest.Ctx, steps int) (map[int]int64, e
 // i holds it. (One extra superstep flushes the leader's value through its
 // own block.) Returns the received value per part, or nil for parts whose
 // value did not arrive within the horizon.
-func (m *Membership) BroadcastValue(ctx *congest.Ctx, leaders map[int]int64, value func(part int) int64, steps int) (map[int]int64, error) {
+func (m *Membership) BroadcastValue(ctx congest.Net, leaders map[int]int64, value func(part int) int64, steps int) (map[int]int64, error) {
 	const missing = int64(1) << 62
 	res, err := m.SpreadMin(ctx, func(i int) Value {
 		if int64(ctx.ID()) == leaders[i] {
@@ -117,7 +117,7 @@ func (m *Membership) BroadcastValue(ctx *congest.Ctx, leaders map[int]int64, val
 // (the leader included) know the part-wide minimum under less. Members
 // without a contribution pass nil (treated as +∞). Steiner nodes contribute
 // nothing.
-func (m *Membership) MinToAll(ctx *congest.Ctx, own func(part int) Value, top Value, less func(a, b Value) bool, steps int) (map[int]Value, error) {
+func (m *Membership) MinToAll(ctx congest.Net, own func(part int) Value, top Value, less func(a, b Value) bool, steps int) (map[int]Value, error) {
 	return m.SpreadMin(ctx, func(i int) Value {
 		if i == m.OwnPart {
 			if v := own(i); v != nil {

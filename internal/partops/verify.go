@@ -41,7 +41,7 @@ type SumResult struct {
 //
 // Total cost: (4·steps+2)·O(D+c) rounds = O(steps·(D+c)), matching Lemma 3.
 // All nodes enter and leave aligned.
-func (m *Membership) PartSum(ctx *congest.Ctx, own func(part int) int64, steps int) (map[int]SumResult, error) {
+func (m *Membership) PartSum(ctx congest.Net, own func(part int) int64, steps int) (map[int]SumResult, error) {
 	if steps < 1 {
 		return nil, fmt.Errorf("partops: PartSum needs steps >= 1, got %d", steps)
 	}
@@ -239,7 +239,7 @@ func addPair(a, b Value) Value {
 // components. Every member of a good part learns the verdict and the exact
 // block count; parts with more than bLimit blocks are reported bad at every
 // member. Runs in O(bLimit·(D+c)) rounds.
-func (m *Membership) VerifyBlockCount(ctx *congest.Ctx, bLimit int) (map[int]SumResult, error) {
+func (m *Membership) VerifyBlockCount(ctx congest.Net, bLimit int) (map[int]SumResult, error) {
 	res, err := m.PartSum(ctx, func(i int) int64 {
 		if m.IsBlockRoot(i) {
 			return 1

@@ -1,0 +1,126 @@
+// Package radio implements protocols for the single-channel radio model
+// (congest.ModelRadio), starting with the Decay broadcast of Bar-Yehuda,
+// Goldreich and Itai: the classic randomized answer to collisions on a
+// shared channel without collision detection at the transmitters.
+//
+// Decay spreads one rumor from a source to every reachable node. Time is
+// divided into PHASES of SlotsPerPhase radio rounds. A node that entered the
+// phase informed transmits the rumor in a random geometric prefix of the
+// phase's slots — it keeps transmitting while a fair coin shows tails, so in
+// every slot roughly half of the remaining transmitters "decay" into
+// silence. Whatever the density of informed neighbors around an uninformed
+// node, some slot has EXACTLY ONE of them still transmitting with constant
+// probability, and the rumor crosses the boundary; O(log n) slots per phase
+// make that whp per phase, and O(D + log n) phases finish the broadcast.
+// Nodes informed mid-phase stay silent until the next phase boundary, which
+// keeps every phase's transmitter set fixed and the analysis clean.
+package radio
+
+import (
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/graph"
+)
+
+// DecayConfig tunes the broadcast. The zero value picks usable defaults for
+// small graphs; Phases should scale with diameter for full coverage.
+type DecayConfig struct {
+	// Source is the initially informed node (default 0).
+	Source graph.NodeID
+	// Phases is the number of decay phases to run (default 16).
+	Phases int
+	// SlotsPerPhase is the phase length in radio rounds (default
+	// ceil(log2 n) + 2, the classic choice).
+	SlotsPerPhase int
+}
+
+func (c DecayConfig) withDefaults(n int) DecayConfig {
+	if c.Phases <= 0 {
+		c.Phases = 16
+	}
+	if c.SlotsPerPhase <= 0 {
+		c.SlotsPerPhase = congest.BitsForID(n) + 2
+	}
+	return c
+}
+
+// Rounds returns the exact number of radio rounds a run takes, for sizing
+// Options.MaxRounds.
+func (c DecayConfig) Rounds(n int) int {
+	c = c.withDefaults(n)
+	return c.Phases * c.SlotsPerPhase
+}
+
+// DecayOutcome is one node's view after the broadcast.
+type DecayOutcome struct {
+	// Informed reports whether the rumor arrived (the source is born informed).
+	Informed bool
+	// Round is the radio round the rumor arrived in (0 for the source, -1 if
+	// it never did).
+	Round int
+	// Sent counts the rounds this node spent transmitting.
+	Sent int
+}
+
+// rumor is the broadcast payload: the source ID, idBits wide on the wire.
+type rumor struct {
+	src  graph.NodeID
+	bits int
+}
+
+func (r *rumor) Bits() int { return r.bits }
+
+// Decay returns the broadcast Proc; out is indexed by node ID.
+func Decay(cfg DecayConfig, out []DecayOutcome) congest.Proc {
+	return func(ctx *congest.Ctx) error {
+		cfg := cfg.withDefaults(ctx.N())
+		me := ctx.ID()
+		informed := me == cfg.Source
+		o := DecayOutcome{Informed: informed, Round: -1}
+		if informed {
+			o.Round = 0
+		}
+		msg := &rumor{src: cfg.Source, bits: ctx.IDBits()}
+		for ph := 0; ph < cfg.Phases; ph++ {
+			// The transmitter set is frozen at the phase boundary; burst is
+			// the geometric prefix of slots this node transmits in. The draw
+			// happens on every informed node each phase (and only on informed
+			// nodes), so the protocol's random stream is engine-independent.
+			burst := 0
+			if informed {
+				burst = 1
+				for burst < cfg.SlotsPerPhase && ctx.Rand().Intn(2) == 0 {
+					burst++
+				}
+			}
+			for s := 0; s < cfg.SlotsPerPhase; s++ {
+				if s < burst {
+					ctx.Transmit(msg)
+					o.Sent++
+				}
+				ctx.Step()
+				if p, _, status := ctx.RadioRecv(); status == congest.RadioMessage && !informed {
+					informed = true
+					o.Informed = true
+					o.Round = ctx.Round()
+					msg = p.(*rumor)
+				}
+			}
+		}
+		out[me] = o
+		return nil
+	}
+}
+
+// DecayCoverage counts informed nodes, skipping crashed ones.
+func DecayCoverage(out []DecayOutcome, skip func(graph.NodeID) bool) (informed, total int) {
+	for v, o := range out {
+		if skip != nil && skip(v) {
+			continue
+		}
+		total++
+		if o.Informed {
+			informed++
+		}
+	}
+	return informed, total
+}

@@ -1,0 +1,133 @@
+package radio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"lcshortcut/internal/congest"
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/radio"
+	"lcshortcut/internal/scenario"
+)
+
+var engines = []struct {
+	name string
+	e    congest.Engine
+}{
+	{"eventloop", congest.EngineEventLoop},
+	{"channel", congest.EngineChannel},
+}
+
+func runDecay(t *testing.T, e congest.Engine, g *graph.Graph, cfg radio.DecayConfig, opts congest.Options) []radio.DecayOutcome {
+	t.Helper()
+	out := make([]radio.DecayOutcome, g.NumNodes())
+	opts.Model = congest.ModelRadio
+	if _, err := congest.RunOn(e, g, radio.Decay(cfg, out), opts); err != nil {
+		t.Fatalf("decay: %v", err)
+	}
+	return out
+}
+
+// TestDecayPath pins the deterministic base case: on Path(2) the lone
+// informed source is the only transmitter, so its very first slot is
+// collision-free and informs the neighbor in round 1.
+func TestDecayPath(t *testing.T) {
+	for _, eng := range engines {
+		out := runDecay(t, eng.e, gen.Path(2), radio.DecayConfig{Phases: 1}, congest.Options{Seed: 1})
+		if !out[0].Informed || out[0].Round != 0 {
+			t.Errorf("%s: source outcome %+v", eng.name, out[0])
+		}
+		if !out[1].Informed || out[1].Round != 1 {
+			t.Errorf("%s: neighbor outcome %+v, want informed in round 1", eng.name, out[1])
+		}
+	}
+}
+
+// TestDecayCollisionsResolve is the reason Decay exists: a dense star where
+// EVERY leaf starts... rather, where after one phase many informed leaves
+// contend for the center's ear — the geometric decay must still isolate a
+// lone transmitter. A clique of informed-after-phase-one nodes plus one
+// far node exercises it deterministically via seeds.
+func TestDecayCollisionsResolve(t *testing.T) {
+	// Star(9): source is the center after phase 1 informs ALL 8 leaves at
+	// once; a second stage would collide forever under naive flooding. Hang
+	// one extra node off a leaf to force a second boundary crossing.
+	b := graph.MustNewBuilder(10)
+	for v := 1; v <= 8; v++ {
+		b.MustAddEdge(0, v, 1)
+	}
+	b.MustAddEdge(8, 9, 1)
+	gr := b.Finalize()
+	for _, eng := range engines {
+		out := runDecay(t, eng.e, gr, radio.DecayConfig{Phases: 12}, congest.Options{Seed: 3})
+		informed, total := radio.DecayCoverage(out, nil)
+		if informed != total {
+			t.Errorf("%s: %d/%d informed; outlier must be reached through the contended hub", eng.name, informed, total)
+		}
+	}
+}
+
+// TestDecayAllFamiliesCoverage is the acceptance sweep: full coverage on
+// every scenario family with diameter-scaled phases, byte-identical across
+// engines.
+func TestDecayAllFamiliesCoverage(t *testing.T) {
+	for _, s := range scenario.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			g := s.Build(s.Sizes[0], 1)
+			cfg := radio.DecayConfig{Phases: 2*g.ApproxDiameter(0) + 10}
+			var ref []radio.DecayOutcome
+			for ei, eng := range engines {
+				out := runDecay(t, eng.e, g, cfg, congest.Options{Seed: 7})
+				if informed, total := radio.DecayCoverage(out, nil); informed != total {
+					t.Errorf("%s: coverage %d/%d", eng.name, informed, total)
+				}
+				if ei == 0 {
+					ref = out
+				} else if fmt.Sprint(out) != fmt.Sprint(ref) {
+					t.Error("outcomes differ across engines")
+				}
+			}
+		})
+	}
+}
+
+// TestDecayCrashedNodesExcluded runs Decay through a crash-stop plan: a
+// crashed node transmits nothing and hears silence, and the rumor routes
+// around it when the survivor graph allows.
+func TestDecayCrashedNodesExcluded(t *testing.T) {
+	g := gen.Grid(4, 4)
+	// Node 5 dies immediately; the grid stays connected without it.
+	plan := &congest.FaultPlan{Crashes: []congest.Crash{{Node: 5, Round: 0}}}
+	cfg := radio.DecayConfig{Phases: 2*g.ApproxDiameter(0) + 10}
+	for _, eng := range engines {
+		out := runDecay(t, eng.e, g, cfg, congest.Options{Seed: 5, Faults: plan})
+		for v, o := range out {
+			if v == 5 {
+				if o.Informed {
+					t.Errorf("%s: crashed node 5 got informed", eng.name)
+				}
+				continue
+			}
+			if !o.Informed {
+				t.Errorf("%s: survivor %d never informed", eng.name, v)
+			}
+		}
+	}
+}
+
+// TestDecayRoundsAccounting pins the advertised run length.
+func TestDecayRoundsAccounting(t *testing.T) {
+	g := gen.Ring(8)
+	cfg := radio.DecayConfig{Phases: 4}
+	out := make([]radio.DecayOutcome, g.NumNodes())
+	stats, err := congest.RunOn(congest.EngineEventLoop, g, radio.Decay(cfg, out),
+		congest.Options{Seed: 2, Model: congest.ModelRadio})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Rounds(g.NumNodes()); stats.Rounds != want {
+		t.Errorf("run took %d rounds, DecayConfig.Rounds predicts %d", stats.Rounds, want)
+	}
+}
