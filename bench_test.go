@@ -18,12 +18,13 @@ import (
 
 // BenchmarkCongest measures the simulation engine itself on the engbench
 // scenario suite (broadcast flood, sparse token ring, the BFS opening phase
-// on grid256x256 and er50000), on both engines inside one binary: `channel`
-// is the pre-rewrite coordinator engine, `eventloop` the arc-slot mailbox
-// engine, whose steady state must stay at 0 allocs per round (the per-run
-// setup cost is amortized by the pooled runState; see the alloc guard tests
-// in internal/congest). Simulated rounds are reported so per-round cost can
-// be derived.
+// on grid256x256 and er50000), on every engine each scenario declares inside
+// one binary: `channel` is the pre-rewrite coordinator engine, `event-loop`
+// the arc-slot mailbox engine, whose steady state must stay at 0 allocs per
+// round (the per-run setup cost is amortized by the pooled runState; see the
+// alloc guard tests in internal/congest), and `sharded` the multi-core
+// engine (shard count defaults to GOMAXPROCS). Simulated rounds are reported
+// so per-round cost can be derived.
 func BenchmarkCongest(b *testing.B) {
 	for _, sc := range engbench.Scenarios() {
 		if sc.Heavy && testing.Short() {
@@ -47,16 +48,11 @@ func BenchmarkCongest(b *testing.B) {
 			}
 			continue
 		}
-		for _, eng := range []struct {
-			name string
-			e    congest.Engine
-		}{
-			{"channel", congest.EngineChannel},
-			{"eventloop", congest.EngineEventLoop},
-		} {
-			b.Run(sc.Name+"/"+eng.name, func(b *testing.B) {
+		for _, e := range sc.EngineList() {
+			e := e
+			b.Run(sc.Name+"/"+engbench.EngineName(e), func(b *testing.B) {
 				g := sc.Graph() // cached across engines; built only if this sub-benchmark runs
-				prev := congest.SetEngine(eng.e)
+				prev := congest.SetEngine(e)
 				defer congest.SetEngine(prev)
 				var stats congest.Stats
 				b.ReportAllocs()

@@ -152,6 +152,129 @@ func TestBenchdiffAllocTolerances(t *testing.T) {
 	}
 }
 
+// TestBenchdiffHostMismatch pins the recording-environment contract: a
+// baseline from a different core count or Go release is refused outright
+// (the committed baseline must be re-recorded, not fudged), patch-level Go
+// differences are fine, and -allow-host-mismatch downgrades the refusal to
+// the comparison with a warning.
+func TestBenchdiffHostMismatch(t *testing.T) {
+	dir := t.TempDir()
+	m := []engbench.Measurement{measurement("broadcast/grid-n2048", "event-loop", 1_000_000, 2000)}
+	cand := writeReport(t, dir, "cand.json", &engbench.Report{Results: m})
+	otherProcs := writeReport(t, dir, "procs.json", &engbench.Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0) + 3, Results: m,
+	})
+	var buf strings.Builder
+	err := run([]string{"-baseline", otherProcs, "-candidate", cand}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "recording environments differ") {
+		t.Fatalf("gomaxprocs mismatch not refused: %v", err)
+	}
+	if err := run([]string{"-baseline", otherProcs, "-candidate", cand, "-allow-host-mismatch"}, &buf); err != nil {
+		t.Fatalf("-allow-host-mismatch did not override the refusal: %v", err)
+	}
+	otherGo := writeReport(t, dir, "gover.json", &engbench.Report{
+		GoVersion: "go987.654.3", Results: m,
+	})
+	if err := run([]string{"-baseline", otherGo, "-candidate", cand}, &buf); err == nil || !strings.Contains(err.Error(), "recording environments differ") {
+		t.Fatalf("go release mismatch not refused: %v", err)
+	}
+	patch := writeReport(t, dir, "patch.json", &engbench.Report{
+		GoVersion: goMinor(runtime.Version()) + ".999", Results: m,
+	})
+	if err := run([]string{"-baseline", patch, "-candidate", cand}, &buf); err != nil {
+		t.Fatalf("patch-level go difference refused: %v", err)
+	}
+}
+
+func TestGoMinor(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"go1.24.3", "go1.24"},
+		{"go1.24", "go1.24"},
+		{"go1.25rc1", "go1.25rc1"},
+		{"devel +abc123", "devel +abc123"},
+	} {
+		if got := goMinor(tc.in); got != tc.want {
+			t.Errorf("goMinor(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestBenchdiffRequireFaster drives the baseline-free scaling gate: pass
+// when the fast engine beats the slow one on every qualifying scenario,
+// fail on a slower row, fail when a qualifying scenario is missing the fast
+// engine's measurement, and ignore scenarios below -min-n.
+func TestBenchdiffRequireFaster(t *testing.T) {
+	dir := t.TempDir()
+	gate := []string{"-require-faster", "sharded:event-loop", "-min-n", "100000"}
+	cases := []struct {
+		name    string
+		cand    []engbench.Measurement
+		wantErr string
+		wantOut string
+	}{
+		{
+			name: "faster-passes",
+			cand: []engbench.Measurement{
+				measurement("broadcast/ba-n1000000", "event-loop", 4_000_000, 0),
+				measurement("broadcast/ba-n1000000", "sharded", 1_500_000, 0),
+				// Below min-n: sharded slower here must not fail the gate.
+				measurement("broadcast/grid-n2048", "event-loop", 1_000, 0),
+				measurement("broadcast/grid-n2048", "sharded", 2_000, 0),
+			},
+			wantOut: "sharded faster than event-loop on all 1 scenario(s)",
+		},
+		{
+			name: "slower-fails",
+			cand: []engbench.Measurement{
+				measurement("broadcast/ba-n1000000", "event-loop", 1_000_000, 0),
+				measurement("broadcast/ba-n1000000", "sharded", 1_200_000, 0),
+			},
+			wantErr: "1 scenario(s) where sharded does not beat event-loop",
+		},
+		{
+			name: "missing-row-fails",
+			cand: []engbench.Measurement{
+				measurement("broadcast/ba-n1000000", "event-loop", 1_000_000, 0),
+			},
+			wantErr: "1 scenario(s) where sharded does not beat event-loop",
+			wantOut: "missing sharded",
+		},
+		{
+			name: "nothing-qualifies",
+			cand: []engbench.Measurement{
+				measurement("broadcast/grid-n2048", "event-loop", 1_000, 0),
+				measurement("broadcast/grid-n2048", "sharded", 500, 0),
+			},
+			wantErr: "no candidate scenario has >= 100000 nodes",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cand := writeReport(t, dir, tc.name+".json", &engbench.Report{Results: tc.cand})
+			var buf strings.Builder
+			err := run(append([]string{"-candidate", cand}, gate...), &buf)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, buf.String())
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("gate error %v, want substring %q\n%s", err, tc.wantErr, buf.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(buf.String(), tc.wantOut) {
+				t.Errorf("output missing %q:\n%s", tc.wantOut, buf.String())
+			}
+		})
+	}
+	// A malformed engine pair is a usage error, independent of the reports.
+	cand := writeReport(t, dir, "pair.json", &engbench.Report{
+		Results: []engbench.Measurement{measurement("broadcast/ba-n1000000", "sharded", 1, 0)},
+	})
+	var buf strings.Builder
+	if err := run([]string{"-candidate", cand, "-require-faster", "sharded"}, &buf); err == nil || !strings.Contains(err.Error(), "fast:slow") {
+		t.Fatalf("malformed -require-faster pair not rejected: %v", err)
+	}
+}
+
 func TestBenchdiffErrorPaths(t *testing.T) {
 	dir := t.TempDir()
 	good := writeReport(t, dir, "good.json", &engbench.Report{

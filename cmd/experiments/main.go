@@ -13,6 +13,7 @@
 //	experiments -short -workers 4   # trimmed grids on 4 workers (CI smoke)
 //	experiments -write-docs EXPERIMENTS.md   # regenerate the docs from live runs
 //	experiments -bench-json BENCH_engine.json   # engine microbenchmarks only
+//	experiments -bench-json out.json -bench-filter 'broadcast/ba-n1000000'  # one scenario, Heavy included
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 	"time"
 
@@ -39,14 +41,15 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		list      = fs.Bool("list", false, "list registered experiments and exit")
-		listScen  = fs.Bool("list-scenarios", false, "list the scenario registry feeding the experiments and benchmarks, then exit")
-		jsonOut   = fs.Bool("json", false, "emit results as JSON")
-		benchOut  = fs.Bool("bench", false, "emit results as Go benchmark-format lines")
-		short     = fs.Bool("short", false, "run trimmed smoke-sized parameter grids")
-		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		writeDocs = fs.String("write-docs", "", "regenerate the given EXPERIMENTS.md `path` from this run")
-		benchJSON = fs.String("bench-json", "", "run the engine microbenchmarks (both engines) and write the report to `path`, skipping the experiments")
+		list        = fs.Bool("list", false, "list registered experiments and exit")
+		listScen    = fs.Bool("list-scenarios", false, "list the scenario registry feeding the experiments and benchmarks, then exit")
+		jsonOut     = fs.Bool("json", false, "emit results as JSON")
+		benchOut    = fs.Bool("bench", false, "emit results as Go benchmark-format lines")
+		short       = fs.Bool("short", false, "run trimmed smoke-sized parameter grids")
+		workers     = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		writeDocs   = fs.String("write-docs", "", "regenerate the given EXPERIMENTS.md `path` from this run")
+		benchJSON   = fs.String("bench-json", "", "run the engine microbenchmarks and write the report to `path`, skipping the experiments")
+		benchFilter = fs.String("bench-filter", "", "with -bench-json, measure only scenarios whose name matches this `regexp` (an explicit filter also runs matching Heavy scenarios in -short mode)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: experiments [flags] [ID ...]\n\nRegenerates the paper-reproduction tables. IDs filter the run (see -list).\n\n")
@@ -72,7 +75,10 @@ func run(args []string, out *os.File) error {
 		if len(fs.Args()) > 0 {
 			return fmt.Errorf("-bench-json runs the fixed engine scenario suite; drop the arguments %v", fs.Args())
 		}
-		return writeBenchJSON(*benchJSON, *short)
+		return writeBenchJSON(*benchJSON, *short, *benchFilter)
+	}
+	if *benchFilter != "" {
+		return fmt.Errorf("-bench-filter only applies with -bench-json")
 	}
 	exps, err := experiments.Select(fs.Args())
 	if err != nil {
@@ -136,17 +142,39 @@ func run(args []string, out *os.File) error {
 }
 
 // writeBenchJSON runs the engine microbenchmark suite (internal/engbench) on
-// both engines and records the measurements — the repository's engine perf
-// trajectory — at path. Short mode runs each light scenario twice per
-// engine and skips the heavy ones (the CI bench gate; two iterations keep
-// single-run scheduler noise out of the regression comparison); otherwise
-// each measurement lasts at least a second.
-func writeBenchJSON(path string, short bool) error {
+// every engine each scenario declares and records the measurements — the
+// repository's engine perf trajectory — at path. Short mode runs each light
+// scenario twice per engine and skips the heavy ones (the CI bench gate; two
+// iterations keep single-run scheduler noise out of the regression
+// comparison); otherwise each measurement lasts at least a second. A filter
+// regexp narrows the suite by scenario name — and since naming a scenario is
+// an explicit request to run it, a filtered run measures matching Heavy
+// scenarios even in short mode (the nightly large-n job measures exactly the
+// million-node flood this way).
+func writeBenchJSON(path string, short bool, filter string) error {
 	minIters, minDur := 3, time.Second
 	if short {
 		minIters, minDur = 2, 0
 	}
-	rep, err := engbench.Measure(minIters, minDur, short)
+	suite := engbench.Scenarios()
+	skipHeavy := short
+	if filter != "" {
+		re, err := regexp.Compile(filter)
+		if err != nil {
+			return fmt.Errorf("-bench-filter: %w", err)
+		}
+		matched := suite[:0]
+		for _, sc := range suite {
+			if re.MatchString(sc.Name) {
+				matched = append(matched, sc)
+			}
+		}
+		if len(matched) == 0 {
+			return fmt.Errorf("-bench-filter %q matches no scenario", filter)
+		}
+		suite, skipHeavy = matched, false
+	}
+	rep, err := engbench.MeasureSuite(suite, minIters, minDur, skipHeavy)
 	if err != nil {
 		return err
 	}

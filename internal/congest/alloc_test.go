@@ -44,6 +44,25 @@ func TestAllocGuardBroadcast(t *testing.T) {
 	}
 }
 
+// TestAllocGuardSharded extends the steady-state guard to the sharded
+// engine: local arena writes, cross-shard relay appends/drains and the
+// two-level barrier are all pooled and preallocated, so a flooded round must
+// allocate nothing at any shard count (per-run setup — the shard cut, ring
+// sizing — cancels between the two run lengths).
+func TestAllocGuardSharded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per round; the guard runs in the non-race engine-bench job")
+	}
+	prev := congest.SetEngine(congest.EngineSharded)
+	defer congest.SetEngine(prev)
+	for _, shards := range []int{1, 4} {
+		opts := congest.Options{Seed: 3, Shards: shards}
+		if per := perRoundAllocs(t, gen.Grid(16, 16), opts, engbench.BroadcastProc); per > 0.02 {
+			t.Errorf("sharded broadcast steady state (shards=%d) allocates %.3f allocs/round, want 0", shards, per)
+		}
+	}
+}
+
 // TestAllocGuardEmptyFaultPlan pins that the fault layer's disabled branches
 // are free: an explicit empty FaultPlan (every fault check compiled in and
 // evaluated, none firing) must keep the broadcast steady state at zero

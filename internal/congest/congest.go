@@ -94,6 +94,14 @@ type Options struct {
 	// one); a nil or empty plan leaves the simulation fault-free and
 	// byte-identical to the pre-fault-layer engine.
 	Faults *FaultPlan
+	// Shards selects the worker-shard count of EngineSharded (ignored by the
+	// other engines): how many contiguous arc-balanced vertex ranges the
+	// mailbox arena is cut into, each retired in parallel at the barrier.
+	// 0 uses the process-wide default (SetDefaultShards), itself defaulting
+	// to GOMAXPROCS; the count is clamped to the node count. The seeded
+	// output is byte-identical at every shard count — shards change only
+	// wall-clock. Negative is an error.
+	Shards int
 }
 
 // DefaultMaxRounds is the watchdog bound used when Options.MaxRounds is 0.
@@ -151,6 +159,14 @@ const (
 	// identity tests assert byte-identical experiment tables across engines,
 	// and the engine benchmarks measure the speedup inside one binary.
 	EngineChannel
+	// EngineSharded is the multi-core engine: the event-loop engine's
+	// arc-slot mailbox discipline with the CSR cut into P contiguous
+	// arc-balanced shards (partition.ShardBounds), per-shard mailbox arenas,
+	// an epoch-stamped cross-shard relay for boundary arcs and a two-level
+	// barrier retired in parallel (see sharded.go). Seeded outputs are
+	// byte-identical to the other engines at every shard count
+	// (Options.Shards); only wall-clock changes.
+	EngineSharded
 )
 
 // defaultEngine is the engine Run dispatches to; differential tests and
@@ -191,6 +207,9 @@ func RunOn(e Engine, g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 	if e == EngineChannel {
 		return runChannel(g, proc, opts)
 	}
+	if e == EngineSharded {
+		return runSharded(g, proc, opts)
+	}
 	return runEventLoop(g, proc, opts)
 }
 
@@ -207,9 +226,12 @@ const (
 type Ctx struct {
 	id  graph.NodeID
 	g   *graph.Graph
-	run *runState   // event-loop engine state (nil under the channel engine)
-	leg *legacyNode // channel engine state (nil under the event-loop engine)
-	rng *rand.Rand
+	run *runState   // event-loop engine state (nil under the other engines)
+	leg *legacyNode // channel engine state (nil under the other engines)
+	sh  *shardedRun // sharded engine state (nil under the other engines)
+	// shard is the worker shard owning this node (sharded engine only).
+	shard *shard
+	rng   *rand.Rand
 	// rngSrc is rng's seedable source, kept so pooled Ctxs reseed instead of
 	// reallocating the generator.
 	rngSrc rand.Source
@@ -338,6 +360,10 @@ func (c *Ctx) SendArc(k int, p Payload) {
 		c.leg.sendIdx(c, k, p)
 		return
 	}
+	if c.sh != nil {
+		c.sh.sendArc(c, k, p)
+		return
+	}
 	rs := c.run
 	stamp := int32(c.round) + 1
 	buf := stamp & 1
@@ -379,6 +405,10 @@ func (c *Ctx) SendAll(p Payload) {
 		for i := range c.arcs {
 			c.leg.sendIdx(c, i, p)
 		}
+		return
+	}
+	if c.sh != nil {
+		c.sh.sendAll(c, p)
 		return
 	}
 	deg := len(c.arcs)
@@ -484,6 +514,9 @@ func (c *Ctx) InboxArc(k int) (Payload, bool) {
 	if c.leg != nil {
 		return c.leg.inboxArc(c, k)
 	}
+	if c.sh != nil {
+		return c.sh.inboxArc(c, k)
+	}
 	stamp := int32(c.round)
 	if stamp == 0 {
 		return nil, false
@@ -518,6 +551,9 @@ func (c *Ctx) stepBarrier() {
 // them in ascending sender ID (the graph's precomputed by-neighbor order) so
 // inbox order is deterministic without sorting. The buffer is reused.
 func (c *Ctx) gather() []Message {
+	if c.sh != nil {
+		return c.sh.gather(c)
+	}
 	rs := c.run
 	stamp := int32(c.round)
 	buf := stamp & 1
@@ -562,6 +598,10 @@ func (c *Ctx) fail(err error) {
 // their goroutine is exiting.
 func (c *Ctx) arrive(kind int32) {
 	c.arrival = kind
+	if c.sh != nil {
+		c.sh.arrive(c, kind)
+		return
+	}
 	rs := c.run
 	if rs.pending.Add(-1) == 0 {
 		rs.lead(c)
@@ -715,7 +755,13 @@ func runEventLoop(g *graph.Graph, proc Proc, opts Options) (Stats, error) {
 // crash-recovery crash restarts proc after the downtime window, so the loop
 // runs once per incarnation.
 func nodeMain(c *Ctx, proc Proc) {
-	defer c.run.wg.Done()
+	var wg *sync.WaitGroup
+	if c.sh != nil {
+		wg = &c.sh.wg
+	} else {
+		wg = &c.run.wg
+	}
+	defer wg.Done()
 	for {
 		if !runProcOnce(c, proc) {
 			return
@@ -794,9 +840,12 @@ func downUntilRejoin(c *Ctx) (ok bool) {
 func (c *Ctx) restart() {
 	c.incarnation++
 	var seed int64
-	if c.leg != nil {
+	switch {
+	case c.leg != nil:
 		seed = c.leg.run.opts.Seed
-	} else {
+	case c.sh != nil:
+		seed = c.sh.opts.Seed
+	default:
 		seed = c.run.opts.Seed
 	}
 	c.rngSrc.Seed(mix(mix(seed, int64(c.id)), int64(c.incarnation)))
@@ -855,6 +904,8 @@ func acquireRun(g *graph.Graph, opts Options) *runState {
 		nd.g = g
 		nd.run = rs
 		nd.leg = nil
+		nd.sh = nil
+		nd.shard = nil
 		lo, hi := g.ArcOffset(v), g.ArcOffset(v+1)
 		nd.arcs = arena[lo:hi:hi]
 		nd.lo = lo

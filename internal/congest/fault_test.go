@@ -84,12 +84,12 @@ func TestFaultDropAll(t *testing.T) {
 	for _, eng := range engines {
 		t.Run(eng.name, func(t *testing.T) {
 			g := gen.Ring(8)
-			received := 0
+			perNode := make([]int, g.NumNodes()) // one slot per node: procs run concurrently
 			plan := &FaultPlan{DropProb: 1}
 			stats, err := RunOn(eng.e, g, func(ctx *Ctx) error {
 				for r := 0; r < rounds; r++ {
 					ctx.SendAll(intMsg{v: r, bits: 8})
-					received += len(ctx.StepRound())
+					perNode[ctx.ID()] += len(ctx.StepRound())
 					for k := range ctx.Neighbors() {
 						if _, ok := ctx.InboxArc(k); ok {
 							return fmt.Errorf("node %d: InboxArc surfaced a dropped message", ctx.ID())
@@ -100,6 +100,10 @@ func TestFaultDropAll(t *testing.T) {
 			}, Options{Faults: plan})
 			if err != nil {
 				t.Fatal(err)
+			}
+			received := 0
+			for _, c := range perNode {
+				received += c
 			}
 			if received != 0 {
 				t.Errorf("received %d messages under DropProb=1", received)
@@ -169,7 +173,9 @@ func TestFaultAdversaryRotatePermutes(t *testing.T) {
 	const rounds = 3
 	type inboxKey struct{ node, round int }
 	run := func(plan *FaultPlan) map[inboxKey][]int {
-		got := map[inboxKey][]int{}
+		// Procs run concurrently: collect into per-node slots, then fold
+		// into the map after Run returns.
+		perNode := make([][rounds][]int, g.NumNodes())
 		if _, err := Run(g, func(ctx *Ctx) error {
 			for r := 0; r < rounds; r++ {
 				ctx.SendAll(intMsg{v: ctx.ID() + 100*r, bits: 10})
@@ -177,11 +183,17 @@ func TestFaultAdversaryRotatePermutes(t *testing.T) {
 				for _, m := range ctx.StepRound() {
 					vs = append(vs, m.Payload.(intMsg).v)
 				}
-				got[inboxKey{ctx.ID(), r}] = vs
+				perNode[ctx.ID()][r] = vs
 			}
 			return nil
 		}, Options{Faults: plan}); err != nil {
 			t.Fatal(err)
+		}
+		got := map[inboxKey][]int{}
+		for v := range perNode {
+			for r := 0; r < rounds; r++ {
+				got[inboxKey{v, r}] = perNode[v][r]
+			}
 		}
 		return got
 	}
@@ -284,28 +296,28 @@ func TestSetDefaultFaults(t *testing.T) {
 	g := gen.Path(2)
 	prev := SetDefaultFaults(&FaultPlan{DropProb: 1})
 	defer SetDefaultFaults(prev)
-	countProc := func(got *int) Proc {
+	countProc := func(got []int) Proc {
 		return func(ctx *Ctx) error {
 			if ctx.ID() == 0 {
 				ctx.Send(1, intMsg{v: 1, bits: 4})
 			}
-			*got += len(ctx.StepRound())
+			got[ctx.ID()] = len(ctx.StepRound())
 			return nil
 		}
 	}
-	var got int
-	if _, err := Run(g, countProc(&got), Options{}); err != nil {
+	got := make([]int, 2)
+	if _, err := Run(g, countProc(got), Options{}); err != nil {
 		t.Fatal(err)
 	}
-	if got != 0 {
-		t.Errorf("default lossy plan ignored: %d messages delivered", got)
+	if n := got[0] + got[1]; n != 0 {
+		t.Errorf("default lossy plan ignored: %d messages delivered", n)
 	}
-	got = 0
-	if _, err := Run(g, countProc(&got), Options{Faults: &FaultPlan{}}); err != nil {
+	got[0], got[1] = 0, 0
+	if _, err := Run(g, countProc(got), Options{Faults: &FaultPlan{}}); err != nil {
 		t.Fatal(err)
 	}
-	if got != 1 {
-		t.Errorf("explicit empty plan should override the default: got %d deliveries, want 1", got)
+	if n := got[0] + got[1]; n != 1 {
+		t.Errorf("explicit empty plan should override the default: got %d deliveries, want 1", n)
 	}
 }
 

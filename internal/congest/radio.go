@@ -78,6 +78,11 @@ func (c *Ctx) txArenas(buf int32) ([]int32, []Payload) {
 		rs := c.leg.run
 		return rs.txStamp[buf], rs.txPay[buf]
 	}
+	if r := c.sh; r != nil {
+		// Transmission slots are per node with an exclusive writer, so the
+		// sharded engine keeps them global — senders never cross a shard.
+		return r.txStamp[buf], r.txPay[buf]
+	}
 	rs := c.run
 	return rs.txStamp[buf], rs.txPay[buf]
 }
@@ -86,6 +91,9 @@ func (c *Ctx) txArenas(buf int32) ([]int32, []Payload) {
 func (c *Ctx) faultState() (uint64, int64) {
 	if c.leg != nil {
 		return c.leg.run.dropThresh, c.leg.run.faultSeed
+	}
+	if r := c.sh; r != nil {
+		return r.dropThresh, r.faultSeed
 	}
 	return c.run.dropThresh, c.run.faultSeed
 }
@@ -172,6 +180,9 @@ func (c *Ctx) RadioRecv() (Payload, graph.NodeID, RadioStatus) {
 func (c *Ctx) maxMessageBits() int {
 	if c.leg != nil {
 		return c.leg.run.opts.MaxMessageBits
+	}
+	if r := c.sh; r != nil {
+		return r.opts.MaxMessageBits
 	}
 	return c.run.opts.MaxMessageBits
 }

@@ -1,5 +1,7 @@
 // Package engbench defines the CONGEST engine microbenchmark scenarios and a
-// self-contained harness for measuring them on both engines. The scenarios
+// self-contained harness for measuring them on every engine (the legacy
+// channel coordinator, the event-loop arena engine, and the sharded
+// multi-core engine). The scenarios
 // are shared by the repository's `go test -bench BenchmarkCongest` suite and
 // by `cmd/experiments -bench-json`, which records the measurements in
 // BENCH_engine.json so the engine's perf trajectory is tracked in-repo;
@@ -73,6 +75,11 @@ type Scenario struct {
 	// Run performs one simulation on g under the currently selected engine.
 	// nil when Variants is set.
 	Run func(g *graph.Graph) (congest.Stats, error)
+	// Engines restricts which engines measure this scenario; empty means the
+	// full default set (channel, event-loop, sharded). The million-node
+	// scenario drops the legacy channel engine, whose per-round allocation
+	// storm would turn a single iteration into a GC benchmark.
+	Engines []congest.Engine
 	// Variants, when non-empty, replaces the per-engine measurement: the
 	// scenario is measured once per variant and the variant name fills the
 	// report's engine column. Used by workloads whose interesting axis is not
@@ -85,6 +92,18 @@ type Scenario struct {
 type Variant struct {
 	Name string
 	Run  func(g *graph.Graph) (congest.Stats, error)
+}
+
+// defaultEngines is the full engine axis measured when a scenario does not
+// restrict it.
+var defaultEngines = []congest.Engine{congest.EngineChannel, congest.EngineEventLoop, congest.EngineSharded}
+
+// EngineList resolves the engines this scenario is measured on.
+func (s *Scenario) EngineList() []congest.Engine {
+	if len(s.Engines) > 0 {
+		return s.Engines
+	}
+	return defaultEngines
 }
 
 // BroadcastProc floods every edge in both directions for `rounds` rounds —
@@ -144,6 +163,29 @@ func broadcastOn(family string, n int, seed int64) Scenario {
 	return Scenario{
 		Name:  "broadcast/" + name,
 		Graph: g,
+		Run: func(g *graph.Graph) (congest.Stats, error) {
+			return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1})
+		},
+	}
+}
+
+// broadcastLargeOn builds a short flood on a million-node-scale registry
+// family, constructed through the chunked streaming CSR path (BuildLarge:
+// int64 offsets, no dedup map, O(n) transient memory). The workload exists
+// to compare the event-loop engine against the sharded multi-core engine at
+// a scale where per-round parallelism dominates — the legacy channel engine
+// is excluded (its per-round allocation storm at 2m ≈ 6M arcs would measure
+// the GC, not the engine) and the flood is cut to 24 rounds so a single
+// Heavy iteration stays in seconds.
+func broadcastLargeOn(family string, n int, seed int64) Scenario {
+	const floodSteps = 24
+	sc := scenario.MustGet(family)
+	name := fmt.Sprintf("%s-n%d", family, sc.NumNodes(n))
+	return Scenario{
+		Name:    "broadcast/" + name,
+		Heavy:   true,
+		Graph:   cached(func() *graph.Graph { return sc.BuildLarge(n, seed) }),
+		Engines: []congest.Engine{congest.EngineEventLoop, congest.EngineSharded},
 		Run: func(g *graph.Graph) (congest.Stats, error) {
 			return congest.Run(g, BroadcastProc(floodSteps), congest.Options{Seed: 1})
 		},
@@ -379,6 +421,12 @@ func Scenarios() []Scenario {
 		bfsOpenOn("grid", 65536, 1, true),
 		bfsOpenOn("er-sparse", 50000, 1, false),
 	)
+	// The million-node flood (PR 9): preferential attachment keeps the
+	// diameter logarithmic, so 24 rounds saturate every arc without the
+	// ~2000-round diameter a million-node mesh would need. Event-loop vs
+	// sharded only; the nightly large-n CI job gates the sharded engine
+	// faster on every n >= 1e5 scenario.
+	suite = append(suite, broadcastLargeOn("ba", 1000000, 7))
 	// The centralized FindShortcut construction hot path, sequential vs the
 	// parallel worker pool, on a mid-size mesh and the two largest families
 	// (er-sparse-50000 is Heavy: the doubling driver re-runs the core
@@ -393,8 +441,11 @@ func Scenarios() []Scenario {
 
 // EngineName renders an engine for reports.
 func EngineName(e congest.Engine) string {
-	if e == congest.EngineChannel {
+	switch e {
+	case congest.EngineChannel:
 		return "channel"
+	case congest.EngineSharded:
+		return "sharded"
 	}
 	return "event-loop"
 }
@@ -411,10 +462,15 @@ type Measurement struct {
 }
 
 // Report is the BENCH_engine.json document: per-engine measurements plus the
-// event-loop-over-channel speedup per scenario.
+// event-loop-over-channel speedup per scenario. The host metadata
+// (go_version, gomaxprocs, engines) is load-bearing: cmd/benchdiff refuses
+// to compare reports whose recording configurations differ, since absolute
+// ns/op does not transfer across Go releases or core counts (the sharded
+// engine's numbers in particular are meaningless without GOMAXPROCS).
 type Report struct {
 	GoVersion  string             `json:"go_version"`
 	GoMaxProcs int                `json:"gomaxprocs"`
+	Engines    []string           `json:"engines"`
 	Results    []Measurement      `json:"results"`
 	Speedup    map[string]float64 `json:"speedup_event_loop_vs_channel"`
 }
@@ -438,6 +494,9 @@ func MeasureSuite(suite []Scenario, minIters int, minDuration time.Duration, ski
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Speedup:    make(map[string]float64),
 	}
+	for _, e := range defaultEngines {
+		rep.Engines = append(rep.Engines, EngineName(e))
+	}
 	perScenario := make(map[string]map[string]int64)
 	for _, sc := range suite {
 		if sc.Heavy && skipHeavy {
@@ -456,7 +515,7 @@ func MeasureSuite(suite []Scenario, minIters int, minDuration time.Duration, ski
 			}
 			continue
 		}
-		for _, e := range []congest.Engine{congest.EngineChannel, congest.EngineEventLoop} {
+		for _, e := range sc.EngineList() {
 			m, err := measureOne(sc, g, e, minIters, minDuration)
 			if err != nil {
 				return nil, err
@@ -466,8 +525,8 @@ func MeasureSuite(suite []Scenario, minIters int, minDuration time.Duration, ski
 		}
 	}
 	for name, engines := range perScenario {
-		if ev := engines["event-loop"]; ev > 0 {
-			rep.Speedup[name] = float64(engines["channel"]) / float64(ev)
+		if ch, ev := engines["channel"], engines["event-loop"]; ch > 0 && ev > 0 {
+			rep.Speedup[name] = float64(ch) / float64(ev)
 		}
 	}
 	return rep, nil

@@ -54,24 +54,49 @@ func TestGoldenBaselineFile(t *testing.T) {
 }
 
 // TestGoldenEngineIdentity is the cross-engine contract behind the rewrite:
-// the full registry must produce byte-identical JSON on the event-loop and
-// channel engines, sequentially and on eight workers.
+// the full registry must produce byte-identical JSON on the event-loop,
+// channel and sharded engines, sequentially and on eight harness workers —
+// and, for the sharded engine, across shard counts 1, 4 and 8, since the
+// shard cut must never leak into seeded protocol output (deliveries are
+// merged back into by-neighbor-ID inbox order regardless of which shard
+// relayed them).
 func TestGoldenEngineIdentity(t *testing.T) {
 	type variant struct {
 		engine  congest.Engine
 		workers int
+		shards  int
 	}
 	ref := encodeRun(t, 1) // current default engine, sequential
-	for _, v := range []variant{
-		{congest.EngineEventLoop, 8},
-		{congest.EngineChannel, 1},
-		{congest.EngineChannel, 8},
-	} {
+	variants := []variant{
+		{congest.EngineEventLoop, 8, 0},
+		{congest.EngineChannel, 1, 0},
+		{congest.EngineChannel, 8, 0},
+		{congest.EngineSharded, 1, 4},
+	}
+	if !raceEnabled {
+		// Each variant is a full registry run — minutes under the race
+		// detector, so the race job keeps one sharded variant (shards=4
+		// exercises cross-shard relays everywhere) and the uninstrumented
+		// jobs sweep the full shard-count matrix. The congest package's own
+		// race suite already runs every protocol at 3 shards.
+		variants = append(variants,
+			variant{congest.EngineSharded, 1, 1},
+			variant{congest.EngineSharded, 8, 8},
+		)
+	}
+	for _, v := range variants {
 		prev := congest.SetEngine(v.engine)
+		var prevShards int
+		if v.shards > 0 {
+			prevShards = congest.SetDefaultShards(v.shards)
+		}
 		got := encodeRun(t, v.workers)
+		if v.shards > 0 {
+			congest.SetDefaultShards(prevShards)
+		}
 		congest.SetEngine(prev)
 		if !bytes.Equal(ref, got) {
-			t.Fatalf("engine %v workers=%d diverges from event-loop workers=1 JSON", v.engine, v.workers)
+			t.Fatalf("engine %v workers=%d shards=%d diverges from event-loop workers=1 JSON", v.engine, v.workers, v.shards)
 		}
 	}
 }

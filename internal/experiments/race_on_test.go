@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector instruments this build; the
+// golden engine-identity matrix trims redundant shard-count variants there
+// (see TestGoldenEngineIdentity).
+const raceEnabled = true

@@ -20,6 +20,23 @@ import (
 // is information-theoretically easy but the paper's tree-restricted
 // structure is maximally stressed. n·d must be even, d >= 1, and d < n.
 func RandomRegular(n, d int, seed int64) *graph.Graph {
+	validateRegular(n, d)
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; attempt < regularMaxAttempts; attempt++ {
+		if g, ok := pairingAttempt(n, d, rng); ok && g.Connected() {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("gen: no simple connected %d-regular graph on %d vertices after %d attempts", d, n, regularMaxAttempts))
+}
+
+// regularMaxAttempts bounds the fresh-draw retry loop, shared with the stream
+// form so both consume the seeded stream identically.
+const regularMaxAttempts = 1000
+
+// validateRegular holds RandomRegular's argument validation, shared with the
+// stream form.
+func validateRegular(n, d int) {
 	switch {
 	case d < 1 || d >= n:
 		panic(fmt.Sprintf("gen: regular graph needs 1 <= d < n, got n=%d d=%d", n, d))
@@ -30,20 +47,27 @@ func RandomRegular(n, d int, seed int64) *graph.Graph {
 		// is connected in general, so the retry loop would never terminate.
 		panic(fmt.Sprintf("gen: connected regular graph needs d >= 3, got d=%d", d))
 	}
-	rng := rand.New(rand.NewSource(seed))
-	const maxAttempts = 1000
-	for attempt := 0; attempt < maxAttempts; attempt++ {
-		if g, ok := pairingAttempt(n, d, rng); ok && g.Connected() {
-			return g
-		}
-	}
-	panic(fmt.Sprintf("gen: no simple connected %d-regular graph on %d vertices after %d attempts", d, n, maxAttempts))
 }
 
-// pairingAttempt draws one configuration-model pairing and repairs self
-// loops and duplicates by random pair swaps. It reports failure (forcing a
-// fresh draw) if the repair loop stops making progress.
+// pairingAttempt draws one configuration-model pairing and builds the graph.
+// It reports failure (forcing a fresh draw) if the repair loop stops making
+// progress.
 func pairingAttempt(n, d int, rng *rand.Rand) (*graph.Graph, bool) {
+	pairs, ok := pairingPairs(n, d, rng)
+	if !ok {
+		return nil, false
+	}
+	g := graph.MustNewBuilder(n)
+	for _, p := range pairs {
+		g.MustAddEdge(p[0], p[1], 1)
+	}
+	return g.Finalize(), true
+}
+
+// pairingPairs draws one configuration-model pairing and repairs self loops
+// and duplicates by random pair swaps. Consumes rng identically whether the
+// caller builds a Builder graph or streams the pairs.
+func pairingPairs(n, d int, rng *rand.Rand) ([][2]graph.NodeID, bool) {
 	m := n * d / 2
 	pairs := make([][2]graph.NodeID, m)
 	perm := rng.Perm(n * d)
@@ -103,11 +127,7 @@ func pairingAttempt(n, d int, rng *rand.Rand) (*graph.Graph, bool) {
 			}
 		}
 		if fixedAll {
-			g := graph.MustNewBuilder(n)
-			for _, p := range pairs {
-				g.MustAddEdge(p[0], p[1], 1)
-			}
-			return g.Finalize(), true
+			return pairs, true
 		}
 	}
 	return nil, false

@@ -1,0 +1,433 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lcshortcut/internal/graph"
+)
+
+// This file provides every scenario-registry family in replayable edge-stream
+// form (graph.EdgeStream) for the chunked CSR construction path
+// (graph.BuildStreamed): no Builder, no per-edge dedup map, no intermediate
+// per-node edge slices — the layout that generates 10^7+-node graphs without
+// blowing memory.
+//
+// Each XxxStream emits the exact edge sequence its Builder-based counterpart
+// adds, so BuildStreamed output is byte-identical to the monolithic
+// constructor (gen property tests pin this on all 14 families). Where the
+// monolithic generator leans on the Builder's dedup map (Erdős–Rényi's
+// AddEdge-and-ignore, RandomGeometric's FindEdge probe, HandledGrid's
+// AddEdge-error fallback), the stream replaces the map with a structural
+// duplicate predicate proven equivalent below; RandomRegular replaces the
+// built graph's Connected() retry test with a union-find over the same pairs.
+// Streams with random structure re-seed their RNG on every invocation, so the
+// two BuildStreamed passes (count, fill) see identical sequences.
+
+// GridStream is Grid in stream form.
+func GridStream(w, h int) (int, graph.EdgeStream) {
+	return w * h, func(emit func(u, v graph.NodeID, w int64)) {
+		emitGrid(emit, w, h)
+	}
+}
+
+// emitGrid emits the W×H grid edges in gridBuilder's order.
+func emitGrid(emit func(u, v graph.NodeID, w int64), w, h int) {
+	gi := GridIndexer{W: w, H: h}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				emit(gi.Node(x, y), gi.Node(x+1, y), 1)
+			}
+			if y+1 < h {
+				emit(gi.Node(x, y), gi.Node(x, y+1), 1)
+			}
+		}
+	}
+}
+
+// TorusStream is Torus in stream form.
+func TorusStream(w, h int) (int, graph.EdgeStream) {
+	if w < 3 || h < 3 {
+		panic(fmt.Sprintf("gen: torus needs w,h >= 3, got %dx%d", w, h))
+	}
+	return w * h, func(emit func(u, v graph.NodeID, wt int64)) {
+		gi := GridIndexer{W: w, H: h}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				emit(gi.Node(x, y), gi.Node((x+1)%w, y), 1)
+				emit(gi.Node(x, y), gi.Node(x, (y+1)%h), 1)
+			}
+		}
+	}
+}
+
+// SurfaceMeshStream is SurfaceMesh in stream form.
+func SurfaceMeshStream(w, h, g, tube int) (int, graph.EdgeStream) {
+	if g < 0 || tube < 1 {
+		panic(fmt.Sprintf("gen: surface mesh needs genus >= 0 and tube >= 1, got g=%d tube=%d", g, tube))
+	}
+	if g == 0 {
+		return GridStream(w, h)
+	}
+	stride := (w - 3) / g
+	if stride < 2 || h < 6 {
+		panic(fmt.Sprintf("gen: %dx%d grid too small for %d handles (need w >= 2*g+3, h >= 6)", w, h, g))
+	}
+	return w*h + 4*tube*g, func(emit func(u, v graph.NodeID, wt int64)) {
+		emitGrid(emit, w, h)
+		gi := GridIndexer{W: w, H: h}
+		face := func(x, y int) [4]graph.NodeID {
+			return [4]graph.NodeID{gi.Node(x, y), gi.Node(x+1, y), gi.Node(x+1, y+1), gi.Node(x, y+1)}
+		}
+		next := w * h
+		yA, yB := 1, h-3
+		for t := 0; t < g; t++ {
+			x := 1 + t*stride
+			a, c := face(x, yA), face(x, yB)
+			prev := a
+			for r := 0; r < tube; r++ {
+				var ring [4]graph.NodeID
+				for i := range ring {
+					ring[i] = next
+					next++
+				}
+				for i := range ring {
+					emit(ring[i], ring[(i+1)%4], 1)
+					emit(prev[i], ring[i], 1)
+				}
+				prev = ring
+			}
+			for i := range c {
+				emit(prev[i], c[i], 1)
+			}
+		}
+	}
+}
+
+// HandledGridStream is HandledGrid in stream form. The monolithic generator
+// probes the Builder for duplicates via AddEdge errors; here the probe is the
+// structural predicate "is a grid edge, or a handle already placed" — the only
+// two kinds of edge present when a handle is attempted.
+func HandledGridStream(w, h, handles int) (int, graph.EdgeStream) {
+	return w * h, func(emit func(u, v graph.NodeID, wt int64)) {
+		emitGrid(emit, w, h)
+		gi := GridIndexer{W: w, H: h}
+		isGridEdge := func(u, v graph.NodeID) bool {
+			ux, uy := gi.Coords(u)
+			vx, vy := gi.Coords(v)
+			dx, dy := ux-vx, uy-vy
+			if dx < 0 {
+				dx = -dx
+			}
+			if dy < 0 {
+				dy = -dy
+			}
+			return dx+dy == 1
+		}
+		placed := make([][2]graph.NodeID, 0, handles)
+		isDup := func(u, v graph.NodeID) bool {
+			if isGridEdge(u, v) {
+				return true
+			}
+			for _, p := range placed {
+				if (p[0] == u && p[1] == v) || (p[0] == v && p[1] == u) {
+					return true
+				}
+			}
+			return false
+		}
+		add := func(u, v graph.NodeID) {
+			emit(u, v, 1)
+			placed = append(placed, [2]graph.NodeID{u, v})
+		}
+		added := 0
+		for i := 0; added < handles; i++ {
+			r := (i * (h / (handles + 1))) % h
+			u, v := gi.Node(0, r), gi.Node(w-1, h-1-r)
+			if u == v {
+				r = (r + 1) % h
+				u, v = gi.Node(0, r), gi.Node(w-1, h-1-r)
+			}
+			if u != v && !isDup(u, v) {
+				add(u, v)
+				added++
+				continue
+			}
+			for r2 := 0; r2 < h; r2++ {
+				u, v = gi.Node(0, r2), gi.Node(w-1, (h-1-r2+i)%h)
+				if u != v && !isDup(u, v) {
+					add(u, v)
+					added++
+					break
+				}
+			}
+		}
+	}
+}
+
+// RingStream is Ring in stream form.
+func RingStream(n int) (int, graph.EdgeStream) {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: ring needs n >= 3, got %d", n))
+	}
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		for i := 0; i+1 < n; i++ {
+			emit(i, i+1, 1)
+		}
+		emit(n-1, 0, 1)
+	}
+}
+
+// RandomTreeStream is RandomTree in stream form.
+func RandomTreeStream(n int, seed int64) (int, graph.EdgeStream) {
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 1; i < n; i++ {
+			emit(i, rng.Intn(i), 1)
+		}
+	}
+}
+
+// OuterplanarTriangulationStream is OuterplanarTriangulation in stream form.
+func OuterplanarTriangulationStream(n int, seed int64) (int, graph.EdgeStream) {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: triangulation needs n >= 3, got %d", n))
+	}
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i+1 < n; i++ {
+			emit(i, i+1, 1)
+		}
+		emit(n-1, 0, 1)
+		var split func(lo, hi int)
+		split = func(lo, hi int) {
+			if hi-lo < 2 {
+				return
+			}
+			mid := lo + 1 + rng.Intn(hi-lo-1)
+			if mid-lo >= 2 {
+				emit(lo, mid, 1)
+			}
+			if hi-mid >= 2 {
+				emit(mid, hi, 1)
+			}
+			split(lo, mid)
+			split(mid, hi)
+		}
+		split(0, n-1)
+	}
+}
+
+// ErdosRenyiStream is ErdosRenyi in stream form. The monolithic generator
+// relies on AddEdge rejecting duplicates of the tree backbone; since the pair
+// loop visits each {u,v} once, the only possible duplicate of pair (u, v)
+// with u < v is v's own backbone edge, i.e. parent[v] == u — the structural
+// predicate used here. The rng draw happens before the duplicate test in both
+// forms, so the random streams stay aligned.
+func ErdosRenyiStream(n int, p float64, seed int64) (int, graph.EdgeStream) {
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		rng := rand.New(rand.NewSource(seed))
+		parent := make([]int32, n)
+		for i := 1; i < n; i++ {
+			parent[i] = int32(rng.Intn(i))
+			emit(i, int(parent[i]), 1)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p && int(parent[v]) != u {
+					emit(u, v, 1)
+				}
+			}
+		}
+	}
+}
+
+// BarabasiAlbertStream is BarabasiAlbert in stream form.
+func BarabasiAlbertStream(n, m int, seed int64) (int, graph.EdgeStream) {
+	if m < 1 || n < m+2 {
+		panic(fmt.Sprintf("gen: Barabási–Albert needs m >= 1 and n >= m+2, got n=%d m=%d", n, m))
+	}
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		rng := rand.New(rand.NewSource(seed))
+		pool := make([]int32, 0, 2*(m*(m+1)/2+(n-m-1)*m))
+		addEdge := func(u, v graph.NodeID) {
+			emit(u, v, 1)
+			pool = append(pool, int32(u), int32(v))
+		}
+		for i := 0; i <= m; i++ {
+			for j := i + 1; j <= m; j++ {
+				addEdge(i, j)
+			}
+		}
+		targets := make([]graph.NodeID, 0, m)
+		for v := m + 1; v < n; v++ {
+			targets = targets[:0]
+			for len(targets) < m {
+				t := graph.NodeID(pool[rng.Intn(len(pool))])
+				dup := false
+				for _, u := range targets {
+					if u == t {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					targets = append(targets, t)
+				}
+			}
+			for _, t := range targets {
+				addEdge(v, t)
+			}
+		}
+	}
+}
+
+// RandomGeometricStream is RandomGeometric in stream form. The monolithic
+// generator probes FindEdge before each disk edge; since disk candidates for
+// vertex i all satisfy j > i and appear once, the only edge a disk pair
+// (i, j) can duplicate is the Morton backbone, i.e. j == i+1 — the predicate
+// used here.
+func RandomGeometricStream(n int, radius float64, seed int64) (int, graph.EdgeStream) {
+	if n < 2 || radius <= 0 {
+		panic(fmt.Sprintf("gen: geometric graph needs n >= 2 and radius > 0, got n=%d r=%g", n, radius))
+	}
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		order := make([]int, n)
+		for i := range xs {
+			xs[i], ys[i] = rng.Float64(), rng.Float64()
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			i, j := order[a], order[b]
+			mi, mj := morton(xs[i], ys[i]), morton(xs[j], ys[j])
+			if mi != mj {
+				return mi < mj
+			}
+			return i < j
+		})
+		px := make([]float64, n)
+		py := make([]float64, n)
+		for newID, old := range order {
+			px[newID], py[newID] = xs[old], ys[old]
+		}
+		for i := 0; i+1 < n; i++ {
+			emit(i, i+1, 1)
+		}
+		cells := int(math.Ceil(1 / radius))
+		if cells < 1 {
+			cells = 1
+		}
+		cellOf := func(i int) (int, int) {
+			cx := int(px[i] / radius)
+			cy := int(py[i] / radius)
+			if cx >= cells {
+				cx = cells - 1
+			}
+			if cy >= cells {
+				cy = cells - 1
+			}
+			return cx, cy
+		}
+		bucket := make(map[[2]int][]int32, n)
+		for i := 0; i < n; i++ {
+			cx, cy := cellOf(i)
+			bucket[[2]int{cx, cy}] = append(bucket[[2]int{cx, cy}], int32(i))
+		}
+		r2 := radius * radius
+		var cand []int
+		for i := 0; i < n; i++ {
+			cx, cy := cellOf(i)
+			cand = cand[:0]
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for _, j := range bucket[[2]int{cx + dx, cy + dy}] {
+						if int(j) > i {
+							cand = append(cand, int(j))
+						}
+					}
+				}
+			}
+			sort.Ints(cand)
+			for _, j := range cand {
+				dx, dy := px[i]-px[j], py[i]-py[j]
+				if dx*dx+dy*dy <= r2 && j != i+1 {
+					emit(i, j, 1)
+				}
+			}
+		}
+	}
+}
+
+// RandomRegularStream is RandomRegular in stream form. The pairing draw and
+// swap repair are shared with the monolithic path (pairingPairs); the
+// monolithic path's Connected() test on the built graph becomes a union-find
+// over the same pairs — the identical connectivity predicate, so both forms
+// accept the same attempt of the shared seeded stream.
+func RandomRegularStream(n, d int, seed int64) (int, graph.EdgeStream) {
+	validateRegular(n, d)
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		rng := rand.New(rand.NewSource(seed))
+		for attempt := 0; attempt < regularMaxAttempts; attempt++ {
+			pairs, ok := pairingPairs(n, d, rng)
+			if !ok {
+				continue
+			}
+			uf := graph.NewUnionFind(n)
+			for _, p := range pairs {
+				uf.Union(p[0], p[1])
+			}
+			if uf.Sets() != 1 {
+				continue
+			}
+			for _, p := range pairs {
+				emit(p[0], p[1], 1)
+			}
+			return
+		}
+		panic(fmt.Sprintf("gen: no simple connected %d-regular graph on %d vertices after %d attempts", d, n, regularMaxAttempts))
+	}
+}
+
+// HypercubeStream is Hypercube in stream form.
+func HypercubeStream(dim int) (int, graph.EdgeStream) {
+	if dim < 1 || dim > 24 {
+		panic(fmt.Sprintf("gen: hypercube needs 1 <= dim <= 24, got %d", dim))
+	}
+	n := 1 << dim
+	return n, func(emit func(u, v graph.NodeID, w int64)) {
+		for v := 0; v < n; v++ {
+			for b := 0; b < dim; b++ {
+				if u := v ^ (1 << b); u > v {
+					emit(v, u, 1)
+				}
+			}
+		}
+	}
+}
+
+// CavemanStream is Caveman in stream form.
+func CavemanStream(k, s int) (int, graph.EdgeStream) {
+	if k < 3 || s < 3 {
+		panic(fmt.Sprintf("gen: caveman graph needs k >= 3 cliques of size s >= 3, got k=%d s=%d", k, s))
+	}
+	return k * s, func(emit func(u, v graph.NodeID, w int64)) {
+		for c := 0; c < k; c++ {
+			off := c * s
+			for i := 0; i < s; i++ {
+				for j := i + 1; j < s; j++ {
+					if i == 0 && j == 1 {
+						continue
+					}
+					emit(off+i, off+j, 1)
+				}
+			}
+			emit(off+1, ((c+1)%k)*s, 1)
+		}
+	}
+}

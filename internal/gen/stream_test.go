@@ -1,0 +1,65 @@
+package gen
+
+import (
+	"testing"
+
+	"lcshortcut/internal/graph"
+)
+
+// TestStreamMatchesBuilder pins every XxxStream form against its monolithic
+// Builder-based counterpart: identical node count and a byte-identical CSR
+// (edge list, arc arrays, weights) via graph.BuildStreamed. This is the
+// contract stream.go's header promises — the chunked large-graph path must
+// reproduce the exact seeded edge order of the constructors, or every
+// traversal-dependent golden output would silently fork between the two
+// construction paths. BuildStreamed itself enforces replayability (the count
+// and fill passes must agree), so a stream whose RNG is not re-seeded per
+// invocation fails here too.
+func TestStreamMatchesBuilder(t *testing.T) {
+	cases := []struct {
+		name   string
+		stream func() (int, graph.EdgeStream)
+		direct func() *graph.Graph
+	}{
+		{"grid", func() (int, graph.EdgeStream) { return GridStream(7, 5) },
+			func() *graph.Graph { return Grid(7, 5) }},
+		{"torus", func() (int, graph.EdgeStream) { return TorusStream(7, 5) },
+			func() *graph.Graph { return Torus(7, 5) }},
+		{"surface", func() (int, graph.EdgeStream) { return SurfaceMeshStream(11, 8, 3, 2) },
+			func() *graph.Graph { return SurfaceMesh(11, 8, 3, 2) }},
+		{"surface-genus0", func() (int, graph.EdgeStream) { return SurfaceMeshStream(6, 4, 0, 1) },
+			func() *graph.Graph { return SurfaceMesh(6, 4, 0, 1) }},
+		{"handled-grid", func() (int, graph.EdgeStream) { return HandledGridStream(8, 7, 3) },
+			func() *graph.Graph { return HandledGrid(8, 7, 3) }},
+		{"ring", func() (int, graph.EdgeStream) { return RingStream(41) },
+			func() *graph.Graph { return Ring(41) }},
+		{"random-tree", func() (int, graph.EdgeStream) { return RandomTreeStream(90, 7) },
+			func() *graph.Graph { return RandomTree(90, 7) }},
+		{"outerplanar", func() (int, graph.EdgeStream) { return OuterplanarTriangulationStream(70, 11) },
+			func() *graph.Graph { return OuterplanarTriangulation(70, 11) }},
+		{"erdos-renyi", func() (int, graph.EdgeStream) { return ErdosRenyiStream(80, 0.08, 13) },
+			func() *graph.Graph { return ErdosRenyi(80, 0.08, 13) }},
+		{"barabasi-albert", func() (int, graph.EdgeStream) { return BarabasiAlbertStream(120, 3, 17) },
+			func() *graph.Graph { return BarabasiAlbert(120, 3, 17) }},
+		{"geometric", func() (int, graph.EdgeStream) { return RandomGeometricStream(90, 0.18, 19) },
+			func() *graph.Graph { return RandomGeometric(90, 0.18, 19) }},
+		{"regular", func() (int, graph.EdgeStream) { return RandomRegularStream(60, 4, 23) },
+			func() *graph.Graph { return RandomRegular(60, 4, 23) }},
+		{"hypercube", func() (int, graph.EdgeStream) { return HypercubeStream(5) },
+			func() *graph.Graph { return Hypercube(5) }},
+		{"caveman", func() (int, graph.EdgeStream) { return CavemanStream(6, 5) },
+			func() *graph.Graph { return Caveman(6, 5) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			direct := tc.direct()
+			nodes, stream := tc.stream()
+			if nodes != direct.NumNodes() {
+				t.Fatalf("stream declares %d nodes, builder graph has %d", nodes, direct.NumNodes())
+			}
+			streamed := graph.MustBuildStreamed(nodes, stream)
+			checkHandshake(t, streamed)
+			checkSameGraph(t, direct, streamed)
+		})
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// EdgeStream is a replayable edge producer: a function that emits every edge
+// of a graph, in a fixed order, each time it is invoked. BuildStreamed runs a
+// stream twice (a counting pass, then a fill pass), so a stream must be a pure
+// function of its captured inputs — randomized generators re-seed their RNG
+// inside the stream so both passes see the identical sequence.
+type EdgeStream func(emit func(u, v NodeID, w int64))
+
+// BuildStreamed lays a graph out in CSR form directly from an edge stream,
+// without the Builder's per-edge dedup map or any intermediate per-node edge
+// slices. It is the construction path for very large graphs (10^7+ nodes):
+// peak transient memory is one int64 count per vertex plus one int32 stamp per
+// vertex, and per-vertex arc counts are accumulated in int64 so an oversized
+// graph is detected exactly (ErrGraphTooLarge) rather than wrapped.
+//
+// The resulting Graph is byte-identical to Builder-built graphs fed the same
+// edge order: Finalize's counting sort also places arcs in ascending EdgeID
+// order, so every seeded traversal-dependent output is preserved. Validation
+// matches the Builder's (self loops, endpoint range, duplicates, int32 arc
+// space); duplicates are caught by a post-pass neighbor scan instead of a
+// map. The two passes must emit identical sequences; a divergent (non-pure)
+// stream is detected and reported.
+func BuildStreamed(n int, stream EdgeStream) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if n > math.MaxInt32-1 {
+		return nil, fmt.Errorf("%w: vertex count %d", ErrGraphTooLarge, n)
+	}
+	// Pass 1: count arcs per vertex (int64 — overflow-proof) and validate.
+	counts := make([]int64, n)
+	var m int64
+	var streamErr error
+	stream(func(u, v NodeID, w int64) {
+		if streamErr != nil {
+			return
+		}
+		switch {
+		case u == v:
+			streamErr = fmt.Errorf("%w: self loop at %d", ErrBadEdge, u)
+			return
+		case u < 0 || u >= n || v < 0 || v >= n:
+			streamErr = fmt.Errorf("%w: endpoints (%d,%d) out of range [0,%d)", ErrBadEdge, u, v, n)
+			return
+		}
+		counts[u]++
+		counts[v]++
+		m++
+	})
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	offsets, err := buildOffsets(counts)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 2: fill the arc arrays through per-vertex cursors, exactly as
+	// Builder.Finalize does, re-running the stream for the edge order.
+	numArcs := offsets[n]
+	arcTo := make([]int32, numArcs)
+	arcEdge := make([]int32, numArcs)
+	edges := make([]Edge, 0, m)
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	stream(func(u, v NodeID, w int64) {
+		if streamErr != nil {
+			return
+		}
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			streamErr = fmt.Errorf("%w: stream emitted (%d,%d) on the fill pass only", ErrBadEdge, u, v)
+			return
+		}
+		id := len(edges)
+		if int64(id) >= m {
+			streamErr = fmt.Errorf("graph: edge stream is not replayable (fill pass emitted more than %d edges)", m)
+			return
+		}
+		if cursor[u] >= offsets[u+1] || cursor[v] >= offsets[v+1] {
+			streamErr = fmt.Errorf("graph: edge stream is not replayable (vertex %d or %d exceeded its counted degree)", u, v)
+			return
+		}
+		ku := cursor[u]
+		arcTo[ku], arcEdge[ku] = int32(v), int32(id)
+		cursor[u]++
+		kv := cursor[v]
+		arcTo[kv], arcEdge[kv] = int32(u), int32(id)
+		cursor[v]++
+		edges = append(edges, Edge{U: u, V: v, W: w})
+	})
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	if int64(len(edges)) != m {
+		return nil, fmt.Errorf("graph: edge stream is not replayable (count pass saw %d edges, fill pass %d)", m, len(edges))
+	}
+	for v := 0; v < n; v++ {
+		if cursor[v] != offsets[v+1] {
+			return nil, fmt.Errorf("graph: edge stream is not replayable (vertex %d arc count changed between passes)", v)
+		}
+	}
+	// Post-pass duplicate detection: one epoch-stamped scan replaces the
+	// Builder's per-edge map lookup. stamp[t] records the last vertex whose
+	// adjacency touched t; seeing t twice within one vertex means a repeated
+	// neighbor, i.e. a duplicate undirected edge.
+	stamp := make([]int32, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		for _, t := range arcTo[offsets[v]:offsets[v+1]] {
+			if stamp[t] == int32(v) {
+				return nil, fmt.Errorf("%w: duplicate edge (%d,%d)", ErrBadEdge, v, t)
+			}
+			stamp[t] = int32(v)
+		}
+	}
+	// seen stays nil: FindEdge falls back to an adjacency scan. A map over
+	// 10^7+ edges is exactly the memory this path exists to avoid.
+	return &Graph{
+		arcOffsets: offsets,
+		arcTo:      arcTo,
+		arcEdge:    arcEdge,
+		edges:      edges,
+	}, nil
+}
+
+// MustBuildStreamed is BuildStreamed for statically well-formed streams
+// (registry generators); it panics on the errors BuildStreamed reports.
+func MustBuildStreamed(n int, stream EdgeStream) *Graph {
+	g, err := BuildStreamed(n, stream)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildOffsets turns per-vertex arc counts into the CSR offsets array via an
+// int64 prefix sum, reporting ErrGraphTooLarge the moment the running total
+// leaves the int32 arc index space — the overflow is detected, never wrapped.
+// Factored out of BuildStreamed so the int32→int64 boundary is testable with
+// synthetic counts, without materializing a 2^31-arc graph.
+func buildOffsets(counts []int64) ([]int32, error) {
+	n := len(counts)
+	offsets := make([]int32, n+1)
+	var total int64
+	for v := 0; v < n; v++ {
+		offsets[v] = int32(total)
+		total += counts[v]
+		if total > math.MaxInt32 {
+			return nil, fmt.Errorf("%w: arc count %d at vertex %d", ErrGraphTooLarge, total, v)
+		}
+	}
+	offsets[n] = int32(total)
+	return offsets, nil
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// streamOf adapts an edge slice into a replayable EdgeStream.
+func streamOf(edges []Edge) EdgeStream {
+	return func(emit func(u, v NodeID, w int64)) {
+		for _, e := range edges {
+			emit(e.U, e.V, e.W)
+		}
+	}
+}
+
+// requireSameGraph asserts a and b have identical CSR layouts: node and edge
+// counts, the edge table, and every vertex's arc arrays in order.
+func requireSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d nodes, %d/%d edges",
+			a.NumNodes(), b.NumNodes(), a.NumEdges(), b.NumEdges())
+	}
+	for id := 0; id < a.NumEdges(); id++ {
+		if a.Edge(id) != b.Edge(id) {
+			t.Fatalf("Edge(%d) = %+v vs %+v", id, a.Edge(id), b.Edge(id))
+		}
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		at, ae := a.Arcs(v)
+		bt, be := b.Arcs(v)
+		if len(at) != len(bt) {
+			t.Fatalf("Degree(%d) = %d vs %d", v, len(at), len(bt))
+		}
+		for k := range at {
+			if at[k] != bt[k] || ae[k] != be[k] {
+				t.Fatalf("Arcs(%d)[%d] = (%d,%d) vs (%d,%d)", v, k, at[k], ae[k], bt[k], be[k])
+			}
+		}
+	}
+}
+
+func TestBuildStreamedMatchesBuilder(t *testing.T) {
+	edges := []Edge{
+		{U: 0, V: 1, W: 3}, {U: 2, V: 1, W: 1}, {U: 3, V: 0, W: 7},
+		{U: 4, V: 2, W: 2}, {U: 4, V: 0, W: 9}, {U: 3, V: 4, W: 4},
+	}
+	b := MustNewBuilder(5)
+	for _, e := range edges {
+		b.MustAddEdge(e.U, e.V, e.W)
+	}
+	want := b.Finalize()
+	got, err := BuildStreamed(5, streamOf(edges))
+	if err != nil {
+		t.Fatalf("BuildStreamed: %v", err)
+	}
+	requireSameGraph(t, want, got)
+}
+
+func TestBuildStreamedEmptyAndEdgeless(t *testing.T) {
+	g, err := BuildStreamed(0, streamOf(nil))
+	if err != nil || g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: g=%v err=%v", g, err)
+	}
+	g, err = BuildStreamed(4, streamOf(nil))
+	if err != nil || g.NumNodes() != 4 || g.NumEdges() != 0 {
+		t.Fatalf("edgeless graph: g=%v err=%v", g, err)
+	}
+}
+
+func TestBuildStreamedValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+		want  error
+	}{
+		{"self loop", 3, []Edge{{U: 1, V: 1}}, ErrBadEdge},
+		{"out of range", 3, []Edge{{U: 0, V: 3}}, ErrBadEdge},
+		{"negative endpoint", 3, []Edge{{U: -1, V: 2}}, ErrBadEdge},
+		{"duplicate", 3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 1, V: 0}}, ErrBadEdge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := BuildStreamed(tc.n, streamOf(tc.edges)); !errors.Is(err, tc.want) {
+				t.Fatalf("BuildStreamed = %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if _, err := BuildStreamed(-1, streamOf(nil)); err == nil {
+		t.Fatal("negative vertex count accepted")
+	}
+	if _, err := BuildStreamed(math.MaxInt32, streamOf(nil)); !errors.Is(err, ErrGraphTooLarge) {
+		t.Fatalf("oversized vertex count: %v, want ErrGraphTooLarge", err)
+	}
+}
+
+func TestBuildStreamedNonReplayableStream(t *testing.T) {
+	// A stream that emits a different edge set on its second invocation must
+	// be reported, not silently corrupt the CSR.
+	pass := 0
+	flaky := func(emit func(u, v NodeID, w int64)) {
+		pass++
+		emit(0, 1, 1)
+		if pass > 1 {
+			emit(1, 2, 1)
+		}
+	}
+	if _, err := BuildStreamed(3, flaky); err == nil {
+		t.Fatal("non-replayable stream accepted")
+	}
+	// And one that moves an endpoint between passes (same count).
+	pass = 0
+	shifty := func(emit func(u, v NodeID, w int64)) {
+		pass++
+		if pass == 1 {
+			emit(0, 1, 1)
+		} else {
+			emit(1, 2, 1)
+		}
+	}
+	if _, err := BuildStreamed(3, shifty); err == nil {
+		t.Fatal("endpoint-shifting stream accepted")
+	}
+}
+
+// TestBuildOffsetsBoundary pins the int32→int64 boundary of the offsets
+// prefix sum with synthetic counts: totals up to MaxInt32 lay out exactly,
+// and the first arc past it is reported as ErrGraphTooLarge rather than
+// wrapping — without materializing a 2^31-arc graph.
+func TestBuildOffsetsBoundary(t *testing.T) {
+	const maxArcs = int64(math.MaxInt32)
+	// Exactly at the boundary: 3 vertices carrying MaxInt32 arcs in total.
+	counts := []int64{maxArcs - 10, 7, 3}
+	offsets, err := buildOffsets(counts)
+	if err != nil {
+		t.Fatalf("buildOffsets at MaxInt32 total: %v", err)
+	}
+	want := []int32{0, math.MaxInt32 - 10, math.MaxInt32 - 3, math.MaxInt32}
+	for i := range want {
+		if offsets[i] != want[i] {
+			t.Fatalf("offsets[%d] = %d, want %d", i, offsets[i], want[i])
+		}
+	}
+	// One arc past the boundary overflows int32 and must be detected.
+	counts = []int64{maxArcs - 10, 7, 4}
+	if _, err := buildOffsets(counts); !errors.Is(err, ErrGraphTooLarge) {
+		t.Fatalf("buildOffsets past MaxInt32: %v, want ErrGraphTooLarge", err)
+	}
+	// A single vertex overflowing on its own (degree > MaxInt32) as well.
+	if _, err := buildOffsets([]int64{maxArcs + 1}); !errors.Is(err, ErrGraphTooLarge) {
+		t.Fatalf("single-vertex overflow: %v, want ErrGraphTooLarge", err)
+	}
+}
+
+func TestStreamedFindEdgeFallback(t *testing.T) {
+	edges := []Edge{{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 0, V: 3, W: 1}}
+	g, err := BuildStreamed(4, streamOf(edges))
+	if err != nil {
+		t.Fatalf("BuildStreamed: %v", err)
+	}
+	for id, e := range edges {
+		if got, ok := g.FindEdge(e.U, e.V); !ok || got != id {
+			t.Fatalf("FindEdge(%d,%d) = %d,%v, want %d,true", e.U, e.V, got, ok, id)
+		}
+		if got, ok := g.FindEdge(e.V, e.U); !ok || got != id {
+			t.Fatalf("FindEdge(%d,%d) = %d,%v, want %d,true", e.V, e.U, got, ok, id)
+		}
+	}
+	if _, ok := g.FindEdge(2, 3); ok {
+		t.Fatal("FindEdge found an absent edge")
+	}
+	if _, ok := g.FindEdge(0, 17); ok {
+		t.Fatal("FindEdge found an out-of-range edge")
+	}
+	if _, ok := g.FindEdge(-1, 2); ok {
+		t.Fatal("FindEdge found a negative-endpoint edge")
+	}
+}
+
+// FuzzChunkedBuilder replays a fuzz-decoded edge sequence against both
+// construction paths: the Builder (map-backed dedup, eager rejection) and
+// BuildStreamed fed only the edges the Builder accepted. The finalized
+// graphs must be byte-identical CSR for byte-identical input order, and
+// FindEdge must agree between the map-backed and scan-backed
+// implementations.
+func FuzzChunkedBuilder(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 1, 2, 0, 2})
+	f.Add([]byte{5, 0, 1, 0, 1, 3, 4, 2, 0})
+	f.Add([]byte{64, 0, 63, 9, 9, 1, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%64
+		b := MustNewBuilder(n)
+		var accepted []Edge
+		for i := 1; i+1 < len(data); i += 2 {
+			u, v := NodeID(data[i]), NodeID(data[i+1])
+			w := int64(i)
+			if _, err := b.AddEdge(u, v, w); err == nil {
+				accepted = append(accepted, Edge{U: u, V: v, W: w})
+			}
+		}
+		want := b.Finalize()
+		got, err := BuildStreamed(n, streamOf(accepted))
+		if err != nil {
+			t.Fatalf("BuildStreamed rejected a Builder-accepted sequence: %v", err)
+		}
+		requireSameGraph(t, want, got)
+		for _, e := range accepted {
+			wid, wok := want.FindEdge(e.U, e.V)
+			gid, gok := got.FindEdge(e.U, e.V)
+			if wid != gid || wok != gok {
+				t.Fatalf("FindEdge(%d,%d): map %d,%v scan %d,%v", e.U, e.V, wid, wok, gid, gok)
+			}
+		}
+		// Probe a few absent pairs too: both implementations must miss alike.
+		for u := 0; u < n && u < 8; u++ {
+			for v := u + 1; v < n && v < 8; v++ {
+				wid, wok := want.FindEdge(u, v)
+				gid, gok := got.FindEdge(u, v)
+				if wok != gok || (wok && wid != gid) {
+					t.Fatalf("FindEdge(%d,%d): map %d,%v scan %d,%v", u, v, wid, wok, gid, gok)
+				}
+			}
+		}
+	})
+}

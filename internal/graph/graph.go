@@ -110,10 +110,27 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // finalized graph.
 func (g *Graph) SetWeight(id EdgeID, w int64) { g.edges[id].W = w }
 
-// FindEdge returns the ID of edge {u,v} if present.
+// FindEdge returns the ID of edge {u,v} if present. Builder-built graphs
+// answer from the adopted dedup map in O(1); stream-built graphs (see
+// BuildStreamed) carry no map and scan the smaller endpoint's adjacency.
 func (g *Graph) FindEdge(u, v NodeID) (EdgeID, bool) {
-	id, ok := g.seen[edgeKey(u, v)]
-	return id, ok
+	if g.seen != nil {
+		id, ok := g.seen[edgeKey(u, v)]
+		return id, ok
+	}
+	if u < 0 || v < 0 || u >= g.NumNodes() || v >= g.NumNodes() {
+		return 0, false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	to, edge := g.Arcs(u)
+	for k, t := range to {
+		if NodeID(t) == v {
+			return EdgeID(edge[k]), true
+		}
+	}
+	return 0, false
 }
 
 // Other returns the endpoint of edge id that is not v. It panics if v is not

@@ -1,0 +1,54 @@
+package partition
+
+import (
+	"fmt"
+
+	"lcshortcut/internal/graph"
+)
+
+// ShardBounds cuts the vertex range [0, n) into at most p contiguous,
+// non-empty shards of near-equal arc volume, returned as ascending node
+// breakpoints: shard i owns vertices [bounds[i], bounds[i+1]). Because CSR
+// arc ranges follow vertex order, a contiguous vertex cut is also a
+// contiguous arc cut — each shard owns the arc slots
+// [ArcOffset(bounds[i]), ArcOffset(bounds[i+1])) — which is what lets the
+// sharded CONGEST engine give every worker a dense private slice of the
+// mailbox arena.
+//
+// Balancing is by arc count (vertex i's work per round is proportional to
+// its degree): breakpoint i is the first vertex whose arc offset reaches
+// i/p of the total, nudged forward as needed to keep every shard non-empty.
+// Fewer than p vertices yields one shard per vertex. The cut is a pure
+// function of (g, p): deterministic, so sharded runs are reproducible.
+func ShardBounds(g *graph.Graph, p int) []int32 {
+	n := g.NumNodes()
+	if p < 1 {
+		panic(fmt.Sprintf("partition: ShardBounds needs p >= 1, got %d", p))
+	}
+	if p > n {
+		p = n
+	}
+	if n == 0 {
+		return []int32{0}
+	}
+	bounds := make([]int32, p+1)
+	bounds[p] = int32(n)
+	totalArcs := int64(g.ArcOffset(n))
+	v := 0
+	for i := 1; i < p; i++ {
+		target := totalArcs * int64(i) / int64(p)
+		for v < n && int64(g.ArcOffset(v)) < target {
+			v++
+		}
+		// Keep shards non-empty on both sides: at least one vertex after the
+		// previous breakpoint, and enough vertices left for the remaining cuts.
+		if v <= int(bounds[i-1]) {
+			v = int(bounds[i-1]) + 1
+		}
+		if max := n - (p - i); v > max {
+			v = max
+		}
+		bounds[i] = int32(v)
+	}
+	return bounds
+}

@@ -1,0 +1,83 @@
+package partition
+
+import (
+	"testing"
+
+	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
+)
+
+func checkBounds(t *testing.T, g *graph.Graph, p int, bounds []int32) {
+	t.Helper()
+	n := g.NumNodes()
+	wantShards := p
+	if wantShards > n {
+		wantShards = n
+	}
+	if n == 0 {
+		if len(bounds) != 1 || bounds[0] != 0 {
+			t.Fatalf("empty graph bounds = %v", bounds)
+		}
+		return
+	}
+	if len(bounds) != wantShards+1 {
+		t.Fatalf("p=%d n=%d: %d bounds, want %d", p, n, len(bounds), wantShards+1)
+	}
+	if bounds[0] != 0 || bounds[wantShards] != int32(n) {
+		t.Fatalf("p=%d: bounds do not span [0,%d): %v", p, n, bounds)
+	}
+	for i := 0; i < wantShards; i++ {
+		if bounds[i] >= bounds[i+1] {
+			t.Fatalf("p=%d: shard %d empty or inverted: %v", p, i, bounds)
+		}
+	}
+}
+
+func TestShardBounds(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"grid":     gen.Grid(16, 16),
+		"ring":     gen.Ring(100),
+		"star":     gen.Star(64), // all arcs on vertex 0: worst-case skew
+		"ba":       gen.BarabasiAlbert(200, 3, 1),
+		"lollipop": gen.Lollipop(20, 50),
+		"single":   gen.Path(1),
+		"pair":     gen.Path(2),
+	}
+	for name, g := range graphs {
+		for _, p := range []int{1, 2, 3, 4, 7, 8, 64, 1000} {
+			bounds := ShardBounds(g, p)
+			checkBounds(t, g, p, bounds)
+			if name == "grid" && p == 4 {
+				// Arc balance on a regular-ish graph: no shard should carry
+				// more than half the arcs when four-way cut.
+				total := g.ArcOffset(g.NumNodes())
+				for i := 0; i+1 < len(bounds); i++ {
+					arcs := g.ArcOffset(int(bounds[i+1])) - g.ArcOffset(int(bounds[i]))
+					if arcs > total/2 {
+						t.Fatalf("grid p=4 shard %d owns %d of %d arcs", i, arcs, total)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShardBoundsDeterministic(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 3, 42)
+	a := ShardBounds(g, 8)
+	b := ShardBounds(g, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bounds differ at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestShardBoundsPanicsOnZeroShards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShardBounds(g, 0) did not panic")
+		}
+	}()
+	ShardBounds(gen.Path(4), 0)
+}

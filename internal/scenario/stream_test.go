@@ -1,0 +1,91 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"lcshortcut/internal/graph"
+	"lcshortcut/internal/scenario"
+)
+
+// TestStreamMatchesBuildAllFamilies pins the chunked construction path
+// (BuildLarge over the registered edge stream) byte-identical to the
+// monolithic Builder path on every registered family: same CSR layout, same
+// edge table, same per-vertex arc order — so a graph built at 10^6+ nodes
+// through the streamed path drives the exact same seeded simulations as a
+// Builder-built one.
+func TestStreamMatchesBuildAllFamilies(t *testing.T) {
+	for _, s := range scenario.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			if s.Stream == nil {
+				t.Fatalf("scenario %s has no registered Stream; the chunked path cannot build it", s.Name)
+			}
+			// The smallest default size, plus an awkward non-default size to
+			// catch rounding-sensitive family parameters.
+			for _, n := range []int{s.Sizes[0], 137} {
+				for _, seed := range []int64{1, 7} {
+					want := s.Build(n, seed)
+					got := s.BuildLarge(n, seed)
+					compareGraphs(t, s.Name, n, seed, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamIsReplayable re-runs each registered stream twice by hand and
+// checks the emissions line up — the purity contract BuildStreamed's two
+// passes rely on (randomized families must re-seed inside the stream).
+func TestStreamIsReplayable(t *testing.T) {
+	for _, s := range scenario.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			n, stream := s.Stream(s.Sizes[0], 3)
+			var first []graph.Edge
+			stream(func(u, v graph.NodeID, w int64) {
+				first = append(first, graph.Edge{U: u, V: v, W: w})
+			})
+			i := 0
+			stream(func(u, v graph.NodeID, w int64) {
+				if i < len(first) && first[i] != (graph.Edge{U: u, V: v, W: w}) {
+					t.Fatalf("emission %d differs between passes: %+v vs (%d,%d,%d)", i, first[i], u, v, w)
+				}
+				i++
+			})
+			if i != len(first) {
+				t.Fatalf("passes emitted %d then %d edges", len(first), i)
+			}
+			if n != s.NumNodes(s.Sizes[0]) {
+				t.Fatalf("stream node count %d, NumNodes says %d", n, s.NumNodes(s.Sizes[0]))
+			}
+		})
+	}
+}
+
+func compareGraphs(t *testing.T, name string, n int, seed int64, want, got *graph.Graph) {
+	t.Helper()
+	if want.NumNodes() != got.NumNodes() || want.NumEdges() != got.NumEdges() {
+		t.Fatalf("%s n=%d seed=%d: %d/%d nodes, %d/%d edges",
+			name, n, seed, want.NumNodes(), got.NumNodes(), want.NumEdges(), got.NumEdges())
+	}
+	for id := 0; id < want.NumEdges(); id++ {
+		if want.Edge(id) != got.Edge(id) {
+			t.Fatalf("%s n=%d seed=%d: Edge(%d) = %+v vs %+v", name, n, seed, id, want.Edge(id), got.Edge(id))
+		}
+	}
+	for v := 0; v < want.NumNodes(); v++ {
+		wt, we := want.Arcs(v)
+		gt, ge := got.Arcs(v)
+		if len(wt) != len(gt) {
+			t.Fatalf("%s n=%d seed=%d: Degree(%d) = %d vs %d", name, n, seed, v, len(wt), len(gt))
+		}
+		for k := range wt {
+			if wt[k] != gt[k] || we[k] != ge[k] {
+				t.Fatalf("%s n=%d seed=%d: Arcs(%d)[%d] = (%d,%d) vs (%d,%d)",
+					name, n, seed, v, k, wt[k], we[k], gt[k], ge[k])
+			}
+		}
+	}
+}
