@@ -1,0 +1,239 @@
+// Command shortcutload drives a running shortcutd with a zipf-skewed query
+// mix and reports latency percentiles and the cache hit ratio. It is the
+// load half of the server-smoke CI job: boot shortcutd, point shortcutload
+// at it, and assert the hit ratio the content-addressed cache should
+// deliver under skewed repetition.
+//
+// Example:
+//
+//	shortcutload -addr 127.0.0.1:8437 -clients 8 -requests 400 -min-hit-ratio 0.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "shortcutload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the machine-readable summary (-json writes it as JSON).
+type Report struct {
+	Addr          string  `json:"addr"`
+	Universe      int     `json:"universe"`
+	Clients       int     `json:"clients"`
+	Requests      int     `json:"requests"`
+	ZipfS         float64 `json:"zipf_s"`
+	Errors        int     `json:"errors"`
+	HitRatio      float64 `json:"hit_ratio"`
+	P50Micros     float64 `json:"p50_us"`
+	P95Micros     float64 `json:"p95_us"`
+	P99Micros     float64 `json:"p99_us"`
+	HitP50Micros  float64 `json:"hit_p50_us"`
+	ElapsedMillis float64 `json:"elapsed_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shortcutload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8437", "shortcutd address (host:port)")
+		clients  = fs.Int("clients", 8, "concurrent client goroutines")
+		requests = fs.Int("requests", 400, "total requests across all clients")
+		zipfS    = fs.Float64("zipf", 1.2, "zipf skew parameter s (> 1)")
+		families = fs.String("families", "grid,er-sparse,ba", "comma-separated scenario families")
+		sizes    = fs.String("sizes", "256,1024", "comma-separated graph sizes")
+		seeds    = fs.Int("seeds", 2, "seeds per (family, size) pair")
+		parts    = fs.Int("parts", 16, "Voronoi parts per partition")
+		c        = fs.Int("c", 0, "congestion parameter C (0 = doubling search)")
+		b        = fs.Int("b", 0, "block parameter B (0 with C=0 = doubling search)")
+		minHit   = fs.Float64("min-hit-ratio", 0, "fail if the cache hit ratio is below this")
+		jsonOut  = fs.String("json", "", "write the JSON report to this file ('-' = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return nil
+		}
+		return fmt.Errorf("invalid arguments")
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *clients < 1 || *requests < 1 {
+		return fmt.Errorf("-clients and -requests must be positive")
+	}
+	if *zipfS <= 1 {
+		return fmt.Errorf("-zipf must be > 1 (got %g)", *zipfS)
+	}
+
+	universe, err := buildUniverse(*families, *sizes, *seeds, *parts, *c, *b)
+	if err != nil {
+		return err
+	}
+
+	url := "http://" + *addr + "/shortcut"
+	type obs struct {
+		lat time.Duration
+		hit bool
+		err bool
+	}
+	perClient := make([][]obs, *clients)
+	base, extra := *requests / *clients, *requests%*clients
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < *clients; cl++ {
+		count := base
+		if cl < extra {
+			count++
+		}
+		wg.Add(1)
+		go func(cl, count int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(7000 + cl)))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(universe)-1))
+			client := &http.Client{Timeout: 2 * time.Minute}
+			for k := 0; k < count; k++ {
+				body := universe[int(zipf.Uint64())]
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", strings.NewReader(body))
+				o := obs{lat: time.Since(t0)}
+				if err != nil {
+					o.err = true
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					xc := resp.Header.Get("X-Cache")
+					o.hit = xc == "hit" || xc == "coalesced"
+					o.err = resp.StatusCode != http.StatusOK
+					resp.Body.Close()
+				}
+				perClient[cl] = append(perClient[cl], o)
+			}
+		}(cl, count)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lats, hitLats []time.Duration
+	hits, errs, total := 0, 0, 0
+	for _, list := range perClient {
+		for _, o := range list {
+			total++
+			if o.err {
+				errs++
+				continue
+			}
+			lats = append(lats, o.lat)
+			if o.hit {
+				hits++
+				hitLats = append(hitLats, o.lat)
+			}
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(hitLats, func(i, j int) bool { return hitLats[i] < hitLats[j] })
+	hitRatio := 0.0
+	if total > 0 {
+		hitRatio = float64(hits) / float64(total)
+	}
+	report := Report{
+		Addr:          *addr,
+		Universe:      len(universe),
+		Clients:       *clients,
+		Requests:      total,
+		ZipfS:         *zipfS,
+		Errors:        errs,
+		HitRatio:      hitRatio,
+		P50Micros:     percentileUS(lats, 0.50),
+		P95Micros:     percentileUS(lats, 0.95),
+		P99Micros:     percentileUS(lats, 0.99),
+		HitP50Micros:  percentileUS(hitLats, 0.50),
+		ElapsedMillis: float64(elapsed.Nanoseconds()) / 1e6,
+		ThroughputRPS: float64(total) / elapsed.Seconds(),
+	}
+
+	fmt.Fprintf(out, "shortcutload: %d requests (%d clients, universe %d, zipf %.2f) in %.0f ms\n",
+		report.Requests, report.Clients, report.Universe, report.ZipfS, report.ElapsedMillis)
+	fmt.Fprintf(out, "  hit ratio %.3f, errors %d, throughput %.0f req/s\n",
+		report.HitRatio, report.Errors, report.ThroughputRPS)
+	fmt.Fprintf(out, "  latency p50 %.0f us, p95 %.0f us, p99 %.0f us (cache-hit p50 %.0f us)\n",
+		report.P50Micros, report.P95Micros, report.P99Micros, report.HitP50Micros)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			if _, err := out.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	if errs > 0 {
+		return fmt.Errorf("%d of %d requests failed", errs, total)
+	}
+	if hitRatio < *minHit {
+		return fmt.Errorf("hit ratio %.3f below required %.3f", hitRatio, *minHit)
+	}
+	return nil
+}
+
+// buildUniverse pre-marshals the request bodies: families x sizes x seeds,
+// each with a Voronoi partition seeded like the graph.
+func buildUniverse(families, sizes string, seeds, parts, c, b int) ([]string, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("-seeds must be positive")
+	}
+	var szs []int
+	for _, f := range strings.Split(sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid size %q", f)
+		}
+		szs = append(szs, n)
+	}
+	var universe []string
+	for _, fam := range strings.Split(families, ",") {
+		fam = strings.TrimSpace(fam)
+		if fam == "" {
+			return nil, fmt.Errorf("empty family in -families")
+		}
+		for _, n := range szs {
+			for seed := 1; seed <= seeds; seed++ {
+				universe = append(universe, fmt.Sprintf(
+					`{"family":%q,"n":%d,"seed":%d,"c":%d,"b":%d,"partition":{"kind":"voronoi","parts":%d,"seed":%d}}`,
+					fam, n, seed, c, b, parts, seed))
+			}
+		}
+	}
+	if len(universe) < 2 {
+		return nil, fmt.Errorf("query universe needs at least 2 entries (got %d)", len(universe))
+	}
+	return universe, nil
+}
+
+func percentileUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lcshortcut/internal/shortcutsvc"
+)
+
+// startServer boots an in-process shortcutd-equivalent and returns its
+// host:port (what the -addr flag expects).
+func startServer(t *testing.T) string {
+	t.Helper()
+	svc := shortcutsvc.New(shortcutsvc.Config{CacheEntries: 64})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+// TestLoadAgainstLiveService runs the full generator against a live service
+// and checks the report: zipf skew over a repeated universe must produce
+// cache hits, and the JSON report must round-trip.
+func TestLoadAgainstLiveService(t *testing.T) {
+	addr := startServer(t)
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	args := []string{
+		"-addr", addr,
+		"-clients", "4",
+		"-requests", "80",
+		"-families", "ring,er-sparse",
+		"-sizes", "64,128",
+		"-seeds", "2",
+		"-parts", "4",
+		"-min-hit-ratio", "0.3",
+		"-json", jsonPath,
+	}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v) = %v\n%s", args, err, out.String())
+	}
+	for _, want := range []string{"hit ratio", "latency p50"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 80 {
+		t.Errorf("report requests = %d, want 80", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("report errors = %d, want 0", rep.Errors)
+	}
+	if rep.HitRatio < 0.3 {
+		t.Errorf("report hit ratio = %.3f, want >= 0.3", rep.HitRatio)
+	}
+	if rep.Universe != 8 {
+		t.Errorf("report universe = %d, want 8 (2 families x 2 sizes x 2 seeds)", rep.Universe)
+	}
+}
+
+// TestMinHitRatioFailure pins the exit contract: an unreachable hit-ratio
+// floor turns an otherwise clean run into an error.
+func TestMinHitRatioFailure(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-clients", "2",
+		"-requests", "10",
+		"-families", "ring",
+		"-sizes", "32,64",
+		"-seeds", "1",
+		"-parts", "4",
+		"-min-hit-ratio", "1.1", // unreachable: the first query of any key is a miss
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "hit ratio") {
+		t.Fatalf("run with -min-hit-ratio 1.1 = %v, want hit-ratio error", err)
+	}
+}
+
+// TestRequestErrorsFailTheRun pins that HTTP-level failures (an unknown
+// family is a 400) produce a non-zero exit.
+func TestRequestErrorsFailTheRun(t *testing.T) {
+	addr := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-clients", "1",
+		"-requests", "4",
+		"-families", "no-such-family",
+		"-sizes", "32,64",
+		"-seeds", "1",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("run against unknown family = %v, want request-failure error", err)
+	}
+}
+
+// TestFlagValidation pins the argument error paths.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"stray"},
+		{"-zipf", "0.5"},
+		{"-clients", "0"},
+		{"-sizes", "x"},
+		{"-sizes", "64", "-families", "ring", "-seeds", "1"}, // universe of 1
+		{"-seeds", "0"},
+		{"-families", ",", "-sizes", "64"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) = nil, want error", args)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Errorf("run(-h) = %v, want nil", err)
+	}
+}

@@ -16,9 +16,9 @@ import (
 // never shrunk below the retention cap, so FindShortcut's iteration loop and
 // repeated harness runs touch the allocator only for their outputs.
 //
-// Nothing stored here survives a call: results are sealed into freshly
-// allocated Shortcuts (see sealShortcut) before the scratch returns to the
-// pool.
+// Nothing stored here survives a call: results are flattened into freshly
+// allocated Shortcuts (see flattenShortcut) before the scratch returns to
+// the pool.
 type constructScratch struct {
 	// Pass 1 (bottom-up visibility): per-vertex part lists alias arena;
 	// gatherStamp[i] == gatherTag marks part i as already in the list under
@@ -204,7 +204,7 @@ func (cs *constructScratch) passUnusable(t *tree.Tree, p *partition.Partition, m
 // Each part is a pure function of the shared read-only inputs and writes
 // only its own output slots, so workers > 1 distributes parts over a
 // bounded pool without changing a single byte of the result; the merge
-// order downstream (sealShortcut, FindShortcut adoption) is by part ID,
+// order downstream (flattenShortcut, FindShortcut adoption) is by part ID,
 // never by completion order.
 func (cs *constructScratch) walkParts(t *tree.Tree, p *partition.Partition, remaining []bool, workers int) {
 	cs.work = cs.work[:0]
@@ -288,13 +288,15 @@ func (cs *constructScratch) walkOne(t *tree.Tree, p *partition.Partition, ws *wa
 	cs.blockCnt[i] = touched - len(edges) + isolated
 }
 
-// sealShortcut flattens per-part edge lists into a Shortcut's per-edge part
-// lists with two counting passes over one flat arena: the fill iterates
-// parts in ascending ID order — the deterministic merge order — so every
-// per-edge list comes out sorted without a single sort call. Lists are
+// flattenShortcut turns per-part edge lists into an unsealed Shortcut's
+// per-edge part lists with two counting passes over one flat arena: the fill
+// iterates parts in ascending ID order — the deterministic merge order — so
+// every per-edge list comes out sorted without a single sort call. Lists are
 // three-index subslices (len == cap), so a later Assign copies on append
-// instead of clobbering a neighbor's region.
-func sealShortcut(t *tree.Tree, p *partition.Partition, partEdges [][]int32) *Shortcut {
+// instead of clobbering a neighbor's region. (Flattening is distinct from
+// sealing: Seal additionally precomputes the query memos and freezes the
+// shortcut.)
+func flattenShortcut(t *tree.Tree, p *partition.Partition, partEdges [][]int32) *Shortcut {
 	m := t.Graph().NumEdges()
 	s := NewShortcut(t, p)
 	total := 0

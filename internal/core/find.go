@@ -63,8 +63,12 @@ var ErrIterationBudget = errors.New("core: FindShortcut exceeded its iteration b
 //
 // The loop runs entirely on a pooled construction scratch: block counts come
 // out of the per-part walks for free, good parts are adopted by copying
-// their flat edge lists, and the result Shortcut is sealed once at the end
-// (per-edge part lists emerge sorted from the part-ordered counting pass).
+// their flat edge lists, and on success the result Shortcut is sealed — its
+// query memos (part edge lists, blocks, diameters, quality scalars) are
+// precomputed on the same worker budget, so every accessor of the returned
+// shortcut is a pure concurrency-safe read. The ErrIterationBudget partial
+// result is returned unsealed (it exists for failure diagnostics, and the
+// doubling driver discards it without querying).
 func FindShortcut(t *tree.Tree, p *partition.Partition, cfg FindConfig) (*FindResult, error) {
 	if cfg.C < 1 || cfg.B < 1 {
 		return nil, fmt.Errorf("core: FindShortcut needs C,B >= 1, got C=%d B=%d", cfg.C, cfg.B)
@@ -90,7 +94,7 @@ func FindShortcut(t *tree.Tree, p *partition.Partition, cfg FindConfig) (*FindRe
 	left := n
 	for left > 0 {
 		if result.Iterations >= budget {
-			result.S = sealShortcut(t, p, final)
+			result.S = flattenShortcut(t, p, final)
 			return result, fmt.Errorf("%w: %d parts unresolved after %d iterations (C=%d B=%d)",
 				ErrIterationBudget, left, result.Iterations, cfg.C, cfg.B)
 		}
@@ -119,7 +123,8 @@ func FindShortcut(t *tree.Tree, p *partition.Partition, cfg FindConfig) (*FindRe
 		result.Iterations++
 		result.GoodPerIteration = append(result.GoodPerIteration, good)
 	}
-	result.S = sealShortcut(t, p, final)
+	result.S = flattenShortcut(t, p, final)
+	result.S.Seal(workers)
 	return result, nil
 }
 

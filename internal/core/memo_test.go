@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lcshortcut/internal/gen"
+	"lcshortcut/internal/graph"
 	"lcshortcut/internal/partition"
 	"lcshortcut/internal/tree"
 )
@@ -22,7 +23,19 @@ func blocksSnapshot(s *Shortcut) [][]Block {
 	return out
 }
 
-// TestBlocksMemoized pins the sort-on-read memoization: repeated quality
+// unsealedClone rebuilds s's assignment into a fresh unsealed shortcut.
+func unsealedClone(s *Shortcut) *Shortcut {
+	out := NewShortcut(s.Tree(), s.Partition())
+	g := s.Tree().Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		if parts := s.PartsOn(e); len(parts) > 0 {
+			out.SetParts(e, append([]int(nil), parts...))
+		}
+	}
+	return out
+}
+
+// TestBlocksMemoized pins the unsealed lazy contract: repeated quality
 // queries return the identical cached decomposition (same backing array, no
 // recompute), queries leave results unchanged, and any mutation invalidates
 // the cache so post-mutation queries match a freshly built shortcut.
@@ -34,7 +47,10 @@ func TestBlocksMemoized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := fr.S
+	s := unsealedClone(fr.S)
+	if s.Sealed() {
+		t.Fatal("clone of a sealed shortcut must start unsealed")
+	}
 
 	want := blocksSnapshot(s)
 	for i := 0; i < p.NumParts(); i++ {
@@ -75,12 +91,7 @@ func TestBlocksMemoized(t *testing.T) {
 			break
 		}
 	}
-	fresh := NewShortcut(tr, p)
-	for e := 0; e < g.NumEdges(); e++ {
-		if parts := s.PartsOn(e); len(parts) > 0 {
-			fresh.SetParts(e, append([]int(nil), parts...))
-		}
-	}
+	fresh := unsealedClone(s)
 	for j := 0; j < p.NumParts(); j++ {
 		if !reflect.DeepEqual(s.Blocks(j), fresh.Blocks(j)) {
 			t.Errorf("part %d: post-mutation Blocks differ from a fresh shortcut (stale cache)", j)
@@ -89,6 +100,143 @@ func TestBlocksMemoized(t *testing.T) {
 	if reflect.DeepEqual(blocksSnapshot(s), want) {
 		t.Error("mutation did not change any decomposition — test mutated nothing observable")
 	}
+}
+
+// TestSealMatchesUnsealed pins that sealing changes no observable value:
+// every query on the sealed FindShortcut result equals the same query
+// answered lazily by an unsealed clone, and sealing the clone (including a
+// clone that was already queried — the idempotence clause) converges to the
+// same bytes.
+func TestSealMatchesUnsealed(t *testing.T) {
+	g := gen.Torus(10, 10)
+	tr := tree.BFSTree(g, 0)
+	p := partition.Voronoi(g, 8, 3)
+	fr, err := FindShortcut(tr, p, FindConfig{C: 8, B: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed := fr.S
+	if !sealed.Sealed() {
+		t.Fatal("FindShortcut must return a sealed shortcut")
+	}
+	lazy := unsealedClone(sealed)
+
+	if got, want := sealed.Measure(), lazy.Measure(); got != want {
+		t.Fatalf("sealed Measure %+v != lazy %+v", got, want)
+	}
+	if got, want := sealed.ShortcutCongestion(), lazy.ShortcutCongestion(); got != want {
+		t.Fatalf("sealed ShortcutCongestion %d != lazy %d", got, want)
+	}
+	for i := 0; i < p.NumParts(); i++ {
+		if !reflect.DeepEqual(sealed.Blocks(i), lazy.Blocks(i)) {
+			t.Errorf("part %d: sealed Blocks differ from lazy", i)
+		}
+		if got, want := sealed.BlockCount(i), lazy.BlockCount(i); got != want {
+			t.Errorf("part %d: sealed BlockCount %d != lazy %d", i, got, want)
+		}
+		if got, want := sealed.PartDiameter(i), lazy.PartDiameter(i); got != want {
+			t.Errorf("part %d: sealed PartDiameter %d != lazy %d", i, got, want)
+		}
+		if got, want := sealed.EdgesOf(i), lazy.EdgesOf(i); !reflect.DeepEqual(got, want) {
+			t.Errorf("part %d: sealed EdgesOf differ from lazy", i)
+		}
+	}
+
+	// Seal the already-queried clone: the queries above populated its lazy
+	// memos, and sealing on top of them must converge to the same state.
+	before := blocksSnapshot(lazy)
+	lazy.Seal(1)
+	if !lazy.Sealed() {
+		t.Fatal("Seal did not seal")
+	}
+	if got := blocksSnapshot(lazy); !reflect.DeepEqual(got, before) {
+		t.Fatal("sealing an already-queried shortcut changed its decomposition")
+	}
+	if got, want := lazy.Measure(), sealed.Measure(); got != want {
+		t.Fatalf("sealed clone Measure %+v != original %+v", got, want)
+	}
+	lazy.Seal(4) // double-seal is a no-op
+	if got := blocksSnapshot(lazy); !reflect.DeepEqual(got, before) {
+		t.Fatal("double Seal changed the decomposition")
+	}
+}
+
+// TestSealedDefensiveViews is the regression test for the leaked-internal-
+// slice bug: pre-seal, PartsOn and Blocks returned the shortcut's own
+// backing arrays, so a caller writing into a result silently corrupted every
+// later query with no invalidate(). Sealed shortcuts must hand out owned
+// copies: mutate everything a sealed shortcut returns and assert subsequent
+// queries are unaffected.
+func TestSealedDefensiveViews(t *testing.T) {
+	g := gen.Grid(12, 12)
+	tr := tree.BFSTree(g, 0)
+	p := partition.Voronoi(g, 7, 1)
+	fr, err := FindShortcut(tr, p, FindConfig{C: 8, B: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fr.S
+	want := blocksSnapshot(s)
+	wantQ := s.Measure()
+
+	for e := 0; e < g.NumEdges(); e++ {
+		if parts := s.PartsOn(e); len(parts) > 0 {
+			parts[0] = -999
+		}
+	}
+	for i := 0; i < p.NumParts(); i++ {
+		for _, b := range s.Blocks(i) {
+			for k := range b.Nodes {
+				b.Nodes[k] = -1
+			}
+		}
+		if edges := s.EdgesOf(i); len(edges) > 0 {
+			edges[0] = graph.EdgeID(-5)
+		}
+	}
+
+	if got := blocksSnapshot(s); !reflect.DeepEqual(got, want) {
+		t.Fatal("mutating returned slices corrupted the sealed decomposition")
+	}
+	if got := s.Measure(); got != wantQ {
+		t.Fatalf("mutating returned slices changed Measure: %+v != %+v", got, wantQ)
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		for _, part := range s.PartsOn(e) {
+			if part < 0 {
+				t.Fatal("PartsOn served a corrupted internal slice")
+			}
+		}
+	}
+}
+
+// TestSealedMutationPanics pins that sealed shortcuts reject mutation loudly
+// instead of corrupting shared state.
+func TestSealedMutationPanics(t *testing.T) {
+	g := gen.Grid(8, 8)
+	tr := tree.BFSTree(g, 0)
+	p := partition.Voronoi(g, 4, 1)
+	fr, err := FindShortcut(tr, p, FindConfig{C: 8, B: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := -1
+	for e := 0; e < g.NumEdges(); e++ {
+		if tr.IsTreeEdge(e) {
+			te = e
+			break
+		}
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on a sealed shortcut did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Assign", func() { fr.S.Assign(te, 0) })
+	mustPanic("SetParts", func() { fr.S.SetParts(te, []int{0}) })
 }
 
 // TestBlocksQueryStability pins the query results of a seeded construction

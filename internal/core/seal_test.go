@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lcshortcut/internal/partition"
+	"lcshortcut/internal/scenario"
+	"lcshortcut/internal/tree"
+)
+
+// TestShortcutConcurrentReaders is the regression test for the race-unsafe
+// read path: before the seal step, every "read" on a Shortcut mutated shared
+// memo state (Blocks populated s.blocks, partEdgeLists populated
+// s.partEdges, and the diameter/congestion queries rewrote the qIdx/qTag
+// query scratch), so two goroutines measuring one shortcut was a data race
+// this test fails under -race. Post-seal, a sealed shortcut is a frozen
+// value: hammer one with parallel Measure/Blocks/EdgesOf/PartDiameter/
+// PartsOn callers across every scenario family and require every answer to
+// match the single-threaded baseline.
+func TestShortcutConcurrentReaders(t *testing.T) {
+	const (
+		n       = 256
+		seed    = 4
+		readers = 8
+		rounds  = 3
+	)
+	for _, sc := range scenario.All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			g := sc.Build(n, seed)
+			tr := tree.BFSTree(g, 0)
+			p := partition.Voronoi(g, 8, seed)
+			ar, err := FindShortcutAuto(tr, p, seed, false, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := ar.S
+			if !s.Sealed() {
+				t.Fatal("FindShortcutAuto must return a sealed shortcut")
+			}
+			wantQ := s.Measure()
+			wantBlocks := blocksSnapshot(s)
+			wantDiam := make([]int, p.NumParts())
+			wantEdges := make([][]int, p.NumParts())
+			for i := range wantDiam {
+				wantDiam[i] = s.PartDiameter(i)
+				wantEdges[i] = s.EdgesOf(i)
+			}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, readers)
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for round := 0; round < rounds; round++ {
+						if got := s.Measure(); got != wantQ {
+							errs <- fmt.Errorf("reader %d: Measure %+v != %+v", r, got, wantQ)
+							return
+						}
+						for i := 0; i < p.NumParts(); i++ {
+							if got := s.Blocks(i); !reflect.DeepEqual(got, wantBlocks[i]) {
+								errs <- fmt.Errorf("reader %d: Blocks(%d) diverged", r, i)
+								return
+							}
+							if got := s.PartDiameter(i); got != wantDiam[i] {
+								errs <- fmt.Errorf("reader %d: PartDiameter(%d) = %d, want %d", r, i, got, wantDiam[i])
+								return
+							}
+							if got := s.EdgesOf(i); !reflect.DeepEqual(got, wantEdges[i]) {
+								errs <- fmt.Errorf("reader %d: EdgesOf(%d) diverged", r, i)
+								return
+							}
+							if got := s.BlockCount(i); got != len(wantBlocks[i]) {
+								errs <- fmt.Errorf("reader %d: BlockCount(%d) = %d, want %d", r, i, got, len(wantBlocks[i]))
+								return
+							}
+						}
+						for e := 0; e < g.NumEdges(); e++ {
+							s.PartsOn(e)
+						}
+						if err := s.Validate(); err != nil {
+							errs <- fmt.Errorf("reader %d: %w", r, err)
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSealWorkerIdentity pins the determinism-under-parallelism contract for
+// the seal step itself: sealing with any worker count produces byte-identical
+// memos (blocks, diameters, quality scalars) — each part's decomposition is
+// a pure function of the inputs, and the stitch is ordered by part ID, never
+// by completion order.
+func TestSealWorkerIdentity(t *testing.T) {
+	families := []string{"grid", "er-sparse", "ba", "randtree"}
+	for _, name := range families {
+		sc := scenario.MustGet(name)
+		g := sc.Build(300, 11)
+		tr := tree.BFSTree(g, 0)
+		p := partition.Voronoi(g, 9, 11)
+		fr, err := FindShortcut(tr, p, FindConfig{C: 16, B: 8, Seed: 11, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		base := fr.S // sealed with workers=1 by FindShortcut
+		for _, workers := range []int{2, 3, 8, 0} {
+			s := unsealedClone(base)
+			s.Seal(workers)
+			if got, want := s.Measure(), base.Measure(); got != want {
+				t.Errorf("%s workers=%d: Measure %+v != %+v", name, workers, got, want)
+			}
+			for i := 0; i < p.NumParts(); i++ {
+				if !reflect.DeepEqual(s.Blocks(i), base.Blocks(i)) {
+					t.Errorf("%s workers=%d: Blocks(%d) diverged", name, workers, i)
+				}
+				if got, want := s.PartDiameter(i), base.PartDiameter(i); got != want {
+					t.Errorf("%s workers=%d: PartDiameter(%d) = %d, want %d", name, workers, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"lcshortcut/internal/graph"
 	"lcshortcut/internal/partition"
@@ -27,12 +28,22 @@ import (
 // edges to parts. H_i is the set of tree edges assigned to part i; part i
 // communicates on G[P_i] + H_i.
 //
-// Quality queries (Blocks, BlockCount, PartDiameter and the aggregates over
-// them) build per-part views lazily and memoize them until the next
-// mutation, so repeated queries — the experiment tables ask for blocks,
-// diameter and congestion of every part — pay the decomposition cost once.
-// A Shortcut is consequently not safe for concurrent use, not even for
-// concurrent reads.
+// A Shortcut lives in one of two states:
+//
+//   - Unsealed (the NewShortcut state): Assign and SetParts mutate freely and
+//     the quality queries (Blocks, BlockCount, PartDiameter and the
+//     aggregates over them) build per-part views lazily, memoized until the
+//     next mutation. An unsealed shortcut is owned by a single goroutine —
+//     even its reads mutate the memo caches, so it is not safe for
+//     concurrent use.
+//   - Sealed (after Seal; FindShortcut returns sealed shortcuts): every memo
+//     — part edge lists, block decompositions, part diameters, congestion —
+//     is precomputed, all accessors are pure reads, and slice-returning
+//     accessors hand out defensive copies, so any number of goroutines may
+//     query one sealed shortcut concurrently. Mutation of a sealed shortcut
+//     panics: sealed shortcuts are shared (the shortcutsvc cache serves one
+//     sealed shortcut to many readers), and an in-place mutation would
+//     silently corrupt every other reader.
 type Shortcut struct {
 	t *tree.Tree
 	p *partition.Partition
@@ -42,19 +53,23 @@ type Shortcut struct {
 	// append copies instead of clobbering a neighbor.
 	edgeParts [][]int
 
-	// Lazily built, mutation-invalidated query caches: partEdges[i] is H_i
-	// in ascending EdgeID order; blocks[i] the memoized Blocks(i) result.
+	// Query caches: partEdges[i] is H_i in ascending EdgeID order; blocks[i]
+	// the memoized Blocks(i) result. Unsealed shortcuts build them lazily and
+	// invalidate on mutation; Seal precomputes them all (blocks into two flat
+	// arenas) and freezes them.
 	partEdges [][]graph.EdgeID
 	blocks    [][]Block
-	// Dense-local-index scratch for block/diameter queries: qIdx[v] is v's
-	// local index, valid while qTag[v] == tag.
-	qIdx []int32
-	qTag []int64
-	tag  int64
+
+	// Sealed-only state: per-part diameters and the scalar quality measures,
+	// precomputed by Seal so the aggregate queries are field reads.
+	sealed   bool
+	partDiam []int
+	qual     Quality
+	scCong   int
 }
 
-// NewShortcut returns an empty shortcut (every H_i = ∅) over tree t and
-// partition p.
+// NewShortcut returns an empty unsealed shortcut (every H_i = ∅) over tree t
+// and partition p.
 func NewShortcut(t *tree.Tree, p *partition.Partition) *Shortcut {
 	return &Shortcut{
 		t:         t,
@@ -69,15 +84,23 @@ func (s *Shortcut) Tree() *tree.Tree { return s.t }
 // Partition returns the parts the shortcut serves.
 func (s *Shortcut) Partition() *partition.Partition { return s.p }
 
+// Sealed reports whether the shortcut has been sealed (see Seal).
+func (s *Shortcut) Sealed() bool { return s.sealed }
+
 // invalidate drops the memoized query views after a mutation.
 func (s *Shortcut) invalidate() {
 	s.partEdges = nil
 	s.blocks = nil
 }
 
-// Assign adds tree edge e to H_i. It panics if e is not a tree edge or i is
-// not a valid part (programmer errors in construction code).
+// Assign adds tree edge e to H_i. It panics if e is not a tree edge, i is
+// not a valid part (programmer errors in construction code), or the shortcut
+// is sealed (sealed shortcuts are shared between goroutines; mutate a fresh
+// or cloned shortcut instead).
 func (s *Shortcut) Assign(e graph.EdgeID, i int) {
+	if s.sealed {
+		panic("core: Assign on a sealed Shortcut (sealed shortcuts are immutable shared values)")
+	}
 	if !s.t.IsTreeEdge(e) {
 		panic(fmt.Sprintf("core: edge %d is not a tree edge", e))
 	}
@@ -89,8 +112,12 @@ func (s *Shortcut) Assign(e graph.EdgeID, i int) {
 }
 
 // SetParts replaces the full part list of tree edge e (callers pass a sorted
-// deduplicated list; the slice is adopted, not copied).
+// deduplicated list; the slice is adopted, not copied). It panics on a sealed
+// shortcut, like Assign.
 func (s *Shortcut) SetParts(e graph.EdgeID, parts []int) {
+	if s.sealed {
+		panic("core: SetParts on a sealed Shortcut (sealed shortcuts are immutable shared values)")
+	}
 	if !s.t.IsTreeEdge(e) {
 		panic(fmt.Sprintf("core: edge %d is not a tree edge", e))
 	}
@@ -98,9 +125,15 @@ func (s *Shortcut) SetParts(e graph.EdgeID, parts []int) {
 	s.invalidate()
 }
 
-// PartsOn returns the sorted part list using tree edge e. The slice is owned
-// by the shortcut.
-func (s *Shortcut) PartsOn(e graph.EdgeID) []int { return s.edgeParts[e] }
+// PartsOn returns the sorted part list using tree edge e. On an unsealed
+// shortcut the slice is owned by the shortcut and must not be modified; a
+// sealed shortcut returns a defensive copy the caller owns.
+func (s *Shortcut) PartsOn(e graph.EdgeID) []int {
+	if s.sealed && len(s.edgeParts[e]) > 0 {
+		return append([]int(nil), s.edgeParts[e]...)
+	}
+	return s.edgeParts[e]
+}
 
 // Contains reports whether tree edge e belongs to H_i.
 func (s *Shortcut) Contains(e graph.EdgeID, i int) bool {
@@ -110,7 +143,8 @@ func (s *Shortcut) Contains(e graph.EdgeID, i int) bool {
 }
 
 // partEdgeLists returns, for every part, H_i in ascending EdgeID order,
-// built once per mutation epoch by a counting pass over the per-edge lists.
+// built once per mutation epoch by a counting pass over the per-edge lists
+// (Seal builds it eagerly, so sealed readers never race on the memo).
 func (s *Shortcut) partEdgeLists() [][]graph.EdgeID {
 	if s.partEdges != nil {
 		return s.partEdges
@@ -156,6 +190,13 @@ func (s *Shortcut) EdgesOf(i int) []graph.EdgeID {
 // G[P_i] + H_i containing e. An edge interior to part j counts for subgraph j
 // even when e ∉ H_j; a shortcut-only assignment counts once per part.
 func (s *Shortcut) Congestion() int {
+	if s.sealed {
+		return s.qual.Congestion
+	}
+	return s.computeCongestion()
+}
+
+func (s *Shortcut) computeCongestion() int {
 	g := s.t.Graph()
 	maxC := 0
 	for e := 0; e < g.NumEdges(); e++ {
@@ -175,6 +216,13 @@ func (s *Shortcut) Congestion() int {
 // assignments (|{i : e ∈ H_i}|), the quantity the construction algorithms
 // bound directly.
 func (s *Shortcut) ShortcutCongestion() int {
+	if s.sealed {
+		return s.scCong
+	}
+	return s.computeShortcutCongestion()
+}
+
+func (s *Shortcut) computeShortcutCongestion() int {
 	maxC := 0
 	for _, parts := range s.edgeParts {
 		if len(parts) > maxC {
@@ -193,40 +241,149 @@ type Block struct {
 	Nodes []graph.NodeID // all vertices of the component, Steiner vertices included
 }
 
-// localIndex returns the dense local index of v under the current query tag,
-// appending v to verts on first sight.
-func (s *Shortcut) localIndex(v graph.NodeID, verts []graph.NodeID) (int32, []graph.NodeID) {
-	if s.qTag[v] == s.tag {
-		return s.qIdx[v], verts
-	}
-	s.qTag[v] = s.tag
-	k := int32(len(verts))
-	s.qIdx[v] = k
-	return k, append(verts, v)
+// qpair is a local-index edge of the current query.
+type qpair struct{ a, b int32 }
+
+// queryScratch bundles the reusable working state of block and part-diameter
+// queries: the epoch-stamped dense-local-index map, the union-find and
+// marking arrays of the block decomposition, the CSR buffers and BFS state of
+// the diameter computation, and the append arenas block results accumulate
+// into. Scratches are pooled (getQuery/putQuery), so Seal's per-part workers
+// and the unsealed lazy query path alike touch the allocator only for their
+// outputs. Moving this state out of Shortcut is what makes sealed reads
+// pure: the pre-seal code stamped qIdx/qTag scratch inside the shared
+// Shortcut on every "read", so two goroutines measuring one cached shortcut
+// raced.
+type queryScratch struct {
+	qIdx []int32 // dense local index of v, valid while qTag[v] == tag
+	qTag []int64
+	tag  int64
+
+	verts []graph.NodeID // vertices of the current query, first-seen order
+	pairs []qpair        // local-index edge list
+	ufPar []int32        // union-find parent, by local index (path halving)
+	ufSz  []int32        // union-find size (union by size)
+	mark  []bool         // component rep -> intersects P_i
+	bIdx  []int32        // component rep -> 1+block index
+	cnt   []int32        // per-block node count
+	cur   []int32        // per-block fill cursor
+	off   []int32        // part-adjacency CSR offsets
+	to    []int32        // part-adjacency CSR targets
+	dist  []int32        // BFS distances
+	queue []int32        // BFS queue
+
+	// Append arenas of appendBlocks: block headers and their node lists.
+	// Within one putQuery lifetime the arenas only grow, so Block.Nodes
+	// subslices taken from them stay valid even across reallocation.
+	blocks []Block
+	nodes  []graph.NodeID
 }
 
-// beginQuery advances the query tag and sizes the dense-index scratch.
-func (s *Shortcut) beginQuery() {
-	n := s.t.Graph().NumNodes()
-	if cap(s.qIdx) < n {
-		s.qIdx = make([]int32, n)
-		s.qTag = make([]int64, n)
+var queryPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getQuery() *queryScratch { return queryPool.Get().(*queryScratch) }
+
+func putQuery(qs *queryScratch) {
+	qs.verts = qs.verts[:0]
+	qs.pairs = qs.pairs[:0]
+	qs.blocks = qs.blocks[:0]
+	qs.nodes = qs.nodes[:0]
+	queryPool.Put(qs)
+}
+
+// begin advances the query tag and sizes the dense-index scratch for an
+// n-vertex graph. Stamp arrays are never cleared: the tag is monotonic for
+// the scratch's lifetime and zeroed growth is always stale.
+func (qs *queryScratch) begin(n int) {
+	if cap(qs.qIdx) < n {
+		qs.qIdx = make([]int32, n)
+		qs.qTag = make([]int64, n)
 	}
-	s.qIdx = s.qIdx[:n]
-	s.qTag = s.qTag[:n]
-	s.tag++
+	qs.qIdx = qs.qIdx[:n]
+	qs.qTag = qs.qTag[:n]
+	qs.tag++
+	qs.verts = qs.verts[:0]
+	qs.pairs = qs.pairs[:0]
+}
+
+// local returns the dense local index of v under the current query tag,
+// recording v in verts on first sight.
+func (qs *queryScratch) local(v graph.NodeID) int32 {
+	if qs.qTag[v] == qs.tag {
+		return qs.qIdx[v]
+	}
+	qs.qTag[v] = qs.tag
+	k := int32(len(qs.verts))
+	qs.qIdx[v] = k
+	qs.verts = append(qs.verts, v)
+	return k
+}
+
+// find is the union-find lookup with path halving over ufPar.
+func (qs *queryScratch) find(x int32) int32 {
+	for qs.ufPar[x] != x {
+		qs.ufPar[x] = qs.ufPar[qs.ufPar[x]]
+		x = qs.ufPar[x]
+	}
+	return x
+}
+
+// grow extends s by n elements (contents unspecified) with amortized
+// doubling, returning the extended slice and the start index of the new
+// region.
+func growInt32(s []int32, n int) []int32 {
+	if need := len(s) + n; cap(s) < need {
+		ns := make([]int32, len(s), max(need, 2*cap(s)))
+		copy(ns, s)
+		s = ns
+	}
+	return s[:len(s)+n]
+}
+
+func growBlocks(s []Block, n int) []Block {
+	if need := len(s) + n; cap(s) < need {
+		ns := make([]Block, len(s), max(need, 2*cap(s)))
+		copy(ns, s)
+		s = ns
+	}
+	return s[:len(s)+n]
+}
+
+func growNodes(s []graph.NodeID, n int) []graph.NodeID {
+	if need := len(s) + n; cap(s) < need {
+		ns := make([]graph.NodeID, len(s), max(need, 2*cap(s)))
+		copy(ns, s)
+		s = ns
+	}
+	return s[:len(s)+n]
 }
 
 // Blocks returns the block components of part i, sorted by (root depth, root
 // ID) — the priority order Lemma 2 routing uses — with each block's Nodes
 // sorted ascending. Isolated vertices of P_i (no incident H_i edge) form
-// singleton blocks. The result is memoized; the returned slice is owned by
-// the shortcut and must not be modified.
+// singleton blocks. On an unsealed shortcut the result is memoized, owned by
+// the shortcut and must not be modified; a sealed shortcut returns a
+// defensive deep copy the caller owns, so no caller can corrupt the shared
+// decomposition.
 func (s *Shortcut) Blocks(i int) []Block {
+	if s.sealed {
+		return copyBlocks(s.blocks[i])
+	}
+	return s.blocksInternal(i)
+}
+
+// blocksInternal returns the memoized decomposition without copying.
+func (s *Shortcut) blocksInternal(i int) []Block {
 	if s.blocks != nil && s.blocks[i] != nil {
 		return s.blocks[i]
 	}
-	blk := s.computeBlocks(i)
+	qs := getQuery()
+	s.appendBlocks(qs, i)
+	blk := copyBlocks(qs.blocks)
+	putQuery(qs)
+	if blk == nil {
+		blk = []Block{} // non-nil marks the memo as populated
+	}
 	if s.blocks == nil {
 		s.blocks = make([][]Block, s.p.NumParts())
 	}
@@ -234,69 +391,164 @@ func (s *Shortcut) Blocks(i int) []Block {
 	return blk
 }
 
-func (s *Shortcut) computeBlocks(i int) []Block {
-	g := s.t.Graph()
-	s.beginQuery()
-	// Collect H_i's vertices (dense local indices) and union its edges;
-	// isolated P_i vertices join as singletons.
-	verts := make([]graph.NodeID, 0, s.p.Size(i))
-	edges := s.partEdgeLists()[i]
-	type pair struct{ a, b int32 }
-	localEdges := make([]pair, 0, len(edges))
-	for _, e := range edges {
-		ed := g.Edge(e)
-		var a, b int32
-		a, verts = s.localIndex(ed.U, verts)
-		b, verts = s.localIndex(ed.V, verts)
-		localEdges = append(localEdges, pair{a, b})
+// copyBlocks deep-copies a decomposition: one headers slice plus one flat
+// node arena the copies subslice, so the copy costs two allocations however
+// many blocks there are.
+func copyBlocks(src []Block) []Block {
+	if len(src) == 0 {
+		return nil
 	}
-	for _, v := range s.p.Nodes(i) {
-		_, verts = s.localIndex(v, verts)
+	total := 0
+	for _, b := range src {
+		total += len(b.Nodes)
 	}
-	uf := graph.NewUnionFind(len(verts))
-	for _, e := range localEdges {
-		uf.Union(int(e.a), int(e.b))
+	nodes := make([]graph.NodeID, total)
+	out := make([]Block, len(src))
+	pos := 0
+	for k, b := range src {
+		nn := copy(nodes[pos:], b.Nodes)
+		out[k] = Block{Root: b.Root, Nodes: nodes[pos : pos+nn : pos+nn]}
+		pos += nn
 	}
-	inPart := make([]bool, len(verts)) // component rep -> intersects P_i
-	for _, v := range s.p.Nodes(i) {
-		inPart[uf.Find(int(s.qIdx[v]))] = true
-	}
-	repBlock := make([]int32, len(verts)) // component rep -> 1+index into out
-	out := make([]Block, 0, 8)
-	for k, v := range verts {
-		rep := uf.Find(k)
-		if !inPart[rep] {
-			continue
-		}
-		if repBlock[rep] == 0 {
-			out = append(out, Block{Root: v})
-			repBlock[rep] = int32(len(out))
-		}
-		blk := &out[repBlock[rep]-1]
-		blk.Nodes = append(blk.Nodes, v)
-		if s.t.Depth(v) < s.t.Depth(blk.Root) || (s.t.Depth(v) == s.t.Depth(blk.Root) && v < blk.Root) {
-			blk.Root = v
-		}
-	}
-	for k := range out {
-		sort.Ints(out[k].Nodes)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		da, db := s.t.Depth(out[a].Root), s.t.Depth(out[b].Root)
-		if da != db {
-			return da < db
-		}
-		return out[a].Root < out[b].Root
-	})
 	return out
 }
 
+// appendBlocks computes part i's block decomposition into qs's append arenas
+// (headers onto qs.blocks, vertex lists onto qs.nodes): collect H_i's
+// vertices under dense local indices, union its edges, group the vertices of
+// components intersecting P_i into per-block node segments, then order nodes
+// ascending and blocks by (root depth, root ID). Pure with respect to the
+// shortcut: all mutable state lives in qs.
+func (s *Shortcut) appendBlocks(qs *queryScratch, i int) {
+	g := s.t.Graph()
+	qs.begin(g.NumNodes())
+	for _, e := range s.partEdgeLists()[i] {
+		ed := g.Edge(e)
+		a := qs.local(ed.U)
+		b := qs.local(ed.V)
+		qs.pairs = append(qs.pairs, qpair{a, b})
+	}
+	for _, v := range s.p.Nodes(i) {
+		qs.local(v)
+	}
+	nv := len(qs.verts)
+	qs.ufPar = growInt32(qs.ufPar[:0], nv)
+	qs.ufSz = growInt32(qs.ufSz[:0], nv)
+	for k := range qs.ufPar {
+		qs.ufPar[k] = int32(k)
+		qs.ufSz[k] = 1
+	}
+	for _, e := range qs.pairs {
+		ra, rb := qs.find(e.a), qs.find(e.b)
+		if ra == rb {
+			continue
+		}
+		if qs.ufSz[ra] < qs.ufSz[rb] {
+			ra, rb = rb, ra
+		}
+		qs.ufPar[rb] = ra
+		qs.ufSz[ra] += qs.ufSz[rb]
+	}
+	if cap(qs.mark) < nv {
+		qs.mark = make([]bool, nv)
+	}
+	qs.mark = qs.mark[:nv]
+	for k := range qs.mark {
+		qs.mark[k] = false
+	}
+	for _, v := range s.p.Nodes(i) {
+		qs.mark[qs.find(qs.qIdx[v])] = true
+	}
+	// Discover blocks in local-vertex order and count their nodes.
+	qs.bIdx = growInt32(qs.bIdx[:0], nv)
+	for k := range qs.bIdx {
+		qs.bIdx[k] = 0
+	}
+	qs.cnt = qs.cnt[:0]
+	total := 0
+	for k := 0; k < nv; k++ {
+		rep := qs.find(int32(k))
+		if !qs.mark[rep] {
+			continue
+		}
+		if qs.bIdx[rep] == 0 {
+			qs.cnt = append(qs.cnt, 0)
+			qs.bIdx[rep] = int32(len(qs.cnt))
+		}
+		qs.cnt[qs.bIdx[rep]-1]++
+		total++
+	}
+	nb := len(qs.cnt)
+	if nb == 0 {
+		return
+	}
+	// Fill each block's node segment in the arena, tracking the shallowest
+	// root on the way.
+	qs.cur = growInt32(qs.cur[:0], nb)
+	start := int32(0)
+	for b := 0; b < nb; b++ {
+		qs.cur[b] = start
+		start += qs.cnt[b]
+	}
+	nodeBase := len(qs.nodes)
+	qs.nodes = growNodes(qs.nodes, total)
+	blockBase := len(qs.blocks)
+	qs.blocks = growBlocks(qs.blocks, nb)
+	for b := 0; b < nb; b++ {
+		qs.blocks[blockBase+b] = Block{Root: -1}
+	}
+	for k := 0; k < nv; k++ {
+		rep := qs.find(int32(k))
+		if !qs.mark[rep] {
+			continue
+		}
+		b := int(qs.bIdx[rep] - 1)
+		v := qs.verts[k]
+		qs.nodes[nodeBase+int(qs.cur[b])] = v
+		qs.cur[b]++
+		blk := &qs.blocks[blockBase+b]
+		if blk.Root == -1 || s.t.Depth(v) < s.t.Depth(blk.Root) ||
+			(s.t.Depth(v) == s.t.Depth(blk.Root) && v < blk.Root) {
+			blk.Root = v
+		}
+	}
+	for b := 0; b < nb; b++ {
+		hi := nodeBase + int(qs.cur[b])
+		lo := hi - int(qs.cnt[b])
+		seg := qs.nodes[lo:hi:hi]
+		sort.Ints(seg)
+		qs.blocks[blockBase+b].Nodes = seg
+	}
+	// Order blocks by (root depth, root ID). Block counts are small (the
+	// construction bounds them by 3B), so an allocation-free insertion sort
+	// beats sort.Slice here.
+	hdrs := qs.blocks[blockBase:]
+	for a := 1; a < len(hdrs); a++ {
+		h := hdrs[a]
+		d := s.t.Depth(h.Root)
+		b := a - 1
+		for b >= 0 && (s.t.Depth(hdrs[b].Root) > d || (s.t.Depth(hdrs[b].Root) == d && hdrs[b].Root > h.Root)) {
+			hdrs[b+1] = hdrs[b]
+			b--
+		}
+		hdrs[b+1] = h
+	}
+}
+
 // BlockCount returns the number of block components of part i.
-func (s *Shortcut) BlockCount(i int) int { return len(s.Blocks(i)) }
+func (s *Shortcut) BlockCount(i int) int {
+	if s.sealed {
+		return len(s.blocks[i])
+	}
+	return len(s.blocksInternal(i))
+}
 
 // BlockParameter returns the block parameter b of the shortcut: the maximum
 // block count over all parts.
 func (s *Shortcut) BlockParameter() int {
+	if s.sealed {
+		return s.qual.BlockParameter
+	}
 	maxB := 0
 	for i := 0; i < s.p.NumParts(); i++ {
 		if c := s.BlockCount(i); c > maxB {
@@ -311,18 +563,32 @@ func (s *Shortcut) BlockParameter() int {
 // interior to P_i plus H_i). Returns graph.Unreached if disconnected, which
 // cannot happen for a valid shortcut over a connected part.
 func (s *Shortcut) PartDiameter(i int) int {
-	adjOff, adjTo, nVerts := s.partAdjacency(i)
+	if s.sealed {
+		return s.partDiam[i]
+	}
+	qs := getQuery()
+	d := s.partDiameter(qs, i)
+	putQuery(qs)
+	return d
+}
+
+func (s *Shortcut) partDiameter(qs *queryScratch, i int) int {
+	nVerts := s.partAdjacency(qs, i)
 	if nVerts == 0 {
 		return graph.Unreached
 	}
+	adjOff, adjTo := qs.off, qs.to
 	diam := 0
-	dist := make([]int32, nVerts)
-	queue := make([]int32, 0, nVerts)
+	qs.dist = growInt32(qs.dist[:0], nVerts)
+	if cap(qs.queue) < nVerts {
+		qs.queue = make([]int32, 0, nVerts)
+	}
+	dist := qs.dist
 	for src := 0; src < nVerts; src++ {
 		for k := range dist {
 			dist[k] = -1
 		}
-		queue = queue[:0]
+		queue := qs.queue[:0]
 		dist[src] = 0
 		queue = append(queue, int32(src))
 		for head := 0; head < len(queue); head++ {
@@ -349,34 +615,36 @@ func (s *Shortcut) PartDiameter(i int) int {
 // Dilation returns the exact dilation: the maximum PartDiameter over all
 // parts.
 func (s *Shortcut) Dilation() int {
+	if s.sealed {
+		return s.qual.Dilation
+	}
+	qs := getQuery()
 	maxD := 0
 	for i := 0; i < s.p.NumParts(); i++ {
-		if d := s.PartDiameter(i); d > maxD {
+		if d := s.partDiameter(qs, i); d > maxD {
 			maxD = d
 		}
 	}
+	putQuery(qs)
 	return maxD
 }
 
 // partAdjacency builds the CSR adjacency of G[P_i]+H_i over dense local
-// vertex indices: G's edges interior to P_i (each once, by endpoint order),
-// plus the H_i edges that leave P_i — an H_i edge interior to P_i is a
-// G-edge between part vertices and was already added by the induced pass.
-func (s *Shortcut) partAdjacency(i int) (off []int32, to []int32, nVerts int) {
+// vertex indices into qs.off/qs.to: G's edges interior to P_i (each once, by
+// endpoint order), plus the H_i edges that leave P_i — an H_i edge interior
+// to P_i is a G-edge between part vertices and was already added by the
+// induced pass. Returns the local vertex count.
+func (s *Shortcut) partAdjacency(qs *queryScratch, i int) (nVerts int) {
 	g := s.t.Graph()
-	s.beginQuery()
-	verts := make([]graph.NodeID, 0, s.p.Size(i))
+	qs.begin(g.NumNodes())
 	for _, v := range s.p.Nodes(i) {
-		_, verts = s.localIndex(v, verts)
+		qs.local(v)
 	}
-	type pair struct{ a, b int32 }
-	var localEdges []pair
 	for _, v := range s.p.Nodes(i) {
 		tos, _ := g.Arcs(v)
 		for _, wi := range tos {
 			if w := graph.NodeID(wi); s.p.Part(w) == i && w > v {
-				a, b := s.qIdx[v], s.qIdx[w]
-				localEdges = append(localEdges, pair{a, b})
+				qs.pairs = append(qs.pairs, qpair{qs.qIdx[v], qs.qIdx[w]})
 			}
 		}
 	}
@@ -385,29 +653,32 @@ func (s *Shortcut) partAdjacency(i int) (off []int32, to []int32, nVerts int) {
 		if s.p.Part(ed.U) == i && s.p.Part(ed.V) == i {
 			continue
 		}
-		var a, b int32
-		a, verts = s.localIndex(ed.U, verts)
-		b, verts = s.localIndex(ed.V, verts)
-		localEdges = append(localEdges, pair{a, b})
+		a := qs.local(ed.U)
+		b := qs.local(ed.V)
+		qs.pairs = append(qs.pairs, qpair{a, b})
 	}
-	nVerts = len(verts)
-	off = make([]int32, nVerts+1)
-	for _, e := range localEdges {
-		off[e.a+1]++
-		off[e.b+1]++
+	nVerts = len(qs.verts)
+	qs.off = growInt32(qs.off[:0], nVerts+1)
+	for k := range qs.off {
+		qs.off[k] = 0
+	}
+	for _, e := range qs.pairs {
+		qs.off[e.a+1]++
+		qs.off[e.b+1]++
 	}
 	for k := 1; k <= nVerts; k++ {
-		off[k] += off[k-1]
+		qs.off[k] += qs.off[k-1]
 	}
-	to = make([]int32, 2*len(localEdges))
-	cur := append([]int32(nil), off[:nVerts]...)
-	for _, e := range localEdges {
-		to[cur[e.a]] = e.b
-		cur[e.a]++
-		to[cur[e.b]] = e.a
-		cur[e.b]++
+	qs.to = growInt32(qs.to[:0], 2*len(qs.pairs))
+	qs.cur = growInt32(qs.cur[:0], nVerts)
+	copy(qs.cur, qs.off[:nVerts])
+	for _, e := range qs.pairs {
+		qs.to[qs.cur[e.a]] = e.b
+		qs.cur[e.a]++
+		qs.to[qs.cur[e.b]] = e.a
+		qs.cur[e.b]++
 	}
-	return off, to, nVerts
+	return nVerts
 }
 
 // Validate checks structural invariants: only tree edges are assigned, and
@@ -440,8 +711,11 @@ type Quality struct {
 }
 
 // Measure computes all quality parameters (exact; costs several BFS runs per
-// part).
+// part on an unsealed shortcut, three field reads on a sealed one).
 func (s *Shortcut) Measure() Quality {
+	if s.sealed {
+		return s.qual
+	}
 	return Quality{
 		Congestion:     s.Congestion(),
 		BlockParameter: s.BlockParameter(),

@@ -1,0 +1,47 @@
+package graph
+
+// HashMix folds x into the running fingerprint h with the splitmix64
+// finalizer — a fast, well-distributed 64-bit mix whose output depends on
+// every input bit. It is the shared primitive of the structural fingerprints
+// (Graph.Fingerprint, partition.Fingerprint): deterministic across processes
+// and platforms (no seed, no map iteration), so a fingerprint is a stable
+// cache key. The golden-gamma increment keeps zero from being a fixed point
+// (h == x would otherwise feed the finalizer a zero).
+func HashMix(h, x uint64) uint64 {
+	z := (h ^ x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fingerprintSeed domain-separates graph fingerprints from other HashMix
+// users (an arbitrary odd constant).
+const fingerprintSeed = 0x9e3779b97f4a7c15
+
+// Fingerprint returns a deterministic 64-bit structural hash of the graph:
+// two graphs have equal fingerprints exactly when their CSR arrays — arc
+// offsets, arc targets, arc edge IDs — and their edge lists (endpoints and
+// weights, in edge-ID order) are byte-identical. Vertex or edge relabelings
+// change the fingerprint; it is an identity for cache keys (shortcutd's
+// content-addressed cache), not an isomorphism test. The hash covers every
+// element, so it is O(n + m); callers that need it repeatedly should store
+// it.
+func (g *Graph) Fingerprint() uint64 {
+	h := HashMix(fingerprintSeed, uint64(g.NumNodes()))
+	h = HashMix(h, uint64(g.NumEdges()))
+	for _, o := range g.arcOffsets {
+		h = HashMix(h, uint64(uint32(o)))
+	}
+	for _, t := range g.arcTo {
+		h = HashMix(h, uint64(uint32(t)))
+	}
+	for _, e := range g.arcEdge {
+		h = HashMix(h, uint64(uint32(e)))
+	}
+	for _, e := range g.edges {
+		h = HashMix(h, uint64(e.U))
+		h = HashMix(h, uint64(e.V))
+		h = HashMix(h, uint64(e.W))
+	}
+	return h
+}

@@ -1,0 +1,23 @@
+package partition
+
+import "lcshortcut/internal/graph"
+
+// partitionFingerprintSeed domain-separates partition fingerprints from
+// graph fingerprints, so a partition and a graph never collide by
+// construction coincidence.
+const partitionFingerprintSeed = 0xd1b54a32d192ed03
+
+// Fingerprint returns a deterministic 64-bit structural hash of the
+// partition: two partitions have equal fingerprints exactly when their
+// per-vertex assignment arrays (None included) and part counts are
+// identical. Like graph.Fingerprint it is a content identity for cache keys
+// (shortcutd's content-addressed cache), stable across processes — no seed,
+// no map iteration — and covers every vertex, so it is O(n).
+func (p *Partition) Fingerprint() uint64 {
+	h := graph.HashMix(partitionFingerprintSeed, uint64(len(p.assign)))
+	h = graph.HashMix(h, uint64(p.NumParts()))
+	for _, a := range p.assign {
+		h = graph.HashMix(h, uint64(int64(a)))
+	}
+	return h
+}

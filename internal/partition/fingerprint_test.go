@@ -1,0 +1,65 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"lcshortcut/internal/gen"
+)
+
+// assignKey renders the full content a partition fingerprint must cover.
+func assignKey(p *Partition) string {
+	return fmt.Sprintf("%d:%v", p.NumParts(), p.Assignment())
+}
+
+// TestPartitionFingerprintDifferential pins fingerprint equality ⇔ identical
+// per-vertex assignment across rebuilds, seeds and partition families on one
+// graph.
+func TestPartitionFingerprintDifferential(t *testing.T) {
+	g := gen.Grid(8, 8)
+	variants := map[string]*Partition{
+		"voronoi-s1":   Voronoi(g, 4, 1),
+		"voronoi-s1-b": Voronoi(g, 4, 1), // rebuild, same seed
+		"voronoi-s2":   Voronoi(g, 4, 2),
+		"voronoi-6":    Voronoi(g, 6, 1),
+		"columns":      GridColumns(8, 8),
+		"snake":        GridSnake(8, 8, 4),
+		"whole":        Whole(g.NumNodes()),
+		"singletons":   Singletons(g.NumNodes()),
+	}
+	rebuilt, err := FromAssignment(Voronoi(g, 4, 1).Assignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants["voronoi-s1-via-assignment"] = rebuilt
+	for na, pa := range variants {
+		for nb, pb := range variants {
+			fpEq := pa.Fingerprint() == pb.Fingerprint()
+			structEq := assignKey(pa) == assignKey(pb)
+			if fpEq != structEq {
+				t.Errorf("%s vs %s: fingerprint equal=%v but assignment equal=%v", na, nb, fpEq, structEq)
+			}
+		}
+	}
+}
+
+// TestPartitionFingerprintSeedSweep pins determinism per seed and
+// distinctness across seeds (no accidental collisions among 32 Voronoi
+// partitions of one graph).
+func TestPartitionFingerprintSeedSweep(t *testing.T) {
+	g := gen.Torus(8, 8)
+	seen := map[uint64]int64{}
+	for seed := int64(0); seed < 32; seed++ {
+		p1 := Voronoi(g, 5, seed)
+		p2 := Voronoi(g, 5, seed)
+		if p1.Fingerprint() != p2.Fingerprint() {
+			t.Fatalf("seed %d: rebuild changed fingerprint", seed)
+		}
+		if prev, dup := seen[p1.Fingerprint()]; dup {
+			if assignKey(p1) != assignKey(Voronoi(g, 5, prev)) {
+				t.Fatalf("seeds %d and %d collide with different assignments", seed, prev)
+			}
+		}
+		seen[p1.Fingerprint()] = seed
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package shortcutsvc
+
+const raceEnabled = false

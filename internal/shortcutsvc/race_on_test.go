@@ -1,0 +1,7 @@
+//go:build race
+
+package shortcutsvc
+
+// raceEnabled records whether the race detector instrumented this build
+// (the soak report notes it: latencies under -race are not comparable).
+const raceEnabled = true

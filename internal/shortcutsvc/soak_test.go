@@ -1,0 +1,241 @@
+package shortcutsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// SoakReport is the recorded output of the gated soak run (committed as
+// BENCH_shortcutd.json alongside BENCH_engine.json).
+type SoakReport struct {
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	ZipfS        float64 `json:"zipf_s"`
+	HitRatio     float64 `json:"hit_ratio"`
+	P50Micros    float64 `json:"p50_us"`
+	P99Micros    float64 `json:"p99_us"`
+	HitP50Micros float64 `json:"hit_p50_us"`
+	// ColdMillisGrid16384 is the end-to-end latency of the first (cache-miss)
+	// grid-n16384 query; HitP50MicrosGrid16384 the median of its repeats.
+	ColdMillisGrid16384   float64 `json:"cold_ms_grid_n16384"`
+	HitP50MicrosGrid16384 float64 `json:"hit_p50_us_grid_n16384"`
+	SpeedupGrid16384      float64 `json:"speedup_grid_n16384"`
+	HitPathAllocsPerQuery float64 `json:"hit_path_allocs_per_query"`
+	Errors                int     `json:"errors"`
+	GoroutinesLeaked      int     `json:"goroutines_leaked"`
+	RaceEnabled           bool    `json:"race_enabled"`
+}
+
+func percentileUS(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return float64(sorted[idx].Nanoseconds()) / 1e3
+}
+
+// TestSoakShortcutd is the SHORTCUTD_SOAK-gated soak run: N concurrent
+// clients fire a zipf-skewed query mix (head: the heavy grid-n16384 query)
+// at a live server, and the test asserts the production claims — the
+// repeated-query path is served from cache at ≥100× the cold construction
+// latency of grid-n16384, the hit ratio is high, no goroutines leak across
+// shutdown, and p50/p99 latencies are recorded (SHORTCUTD_SOAK_OUT writes
+// the JSON report).
+func TestSoakShortcutd(t *testing.T) {
+	if os.Getenv("SHORTCUTD_SOAK") == "" {
+		t.Skip("set SHORTCUTD_SOAK=1 to run the soak test")
+	}
+	baseline := runtime.NumGoroutine()
+	svc := New(Config{CacheEntries: 64})
+	ts := httptest.NewServer(svc.Handler())
+
+	// Query universe: the heavy head plus a tail of small structures. Zipf
+	// rank 0 (the most popular query by far) is the grid-n16384 construction
+	// the acceptance criterion measures.
+	type item struct {
+		label string
+		body  string
+	}
+	universe := []item{{
+		label: "grid-n16384",
+		body:  `{"family":"grid","n":16384,"seed":1,"partition":{"kind":"voronoi","parts":128,"seed":1}}`,
+	}}
+	for _, fam := range []string{"grid", "torus", "er-sparse", "er-dense", "ba", "geometric", "randtree"} {
+		for _, n := range []int{256, 1024} {
+			for seed := 1; seed <= 2; seed++ {
+				universe = append(universe, item{
+					label: fmt.Sprintf("%s-n%d-s%d", fam, n, seed),
+					body: fmt.Sprintf(`{"family":%q,"n":%d,"seed":%d,"partition":{"kind":"voronoi","parts":16,"seed":%d}}`,
+						fam, n, seed, seed),
+				})
+			}
+		}
+	}
+
+	// Cold pass: the first grid-n16384 query measures the construction path
+	// end to end (X-Cache: miss).
+	coldStart := time.Now()
+	resp, err := http.Post(ts.URL+"/shortcut", "application/json", strings.NewReader(universe[0].body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	cold := time.Since(coldStart)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold grid-n16384 query failed: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("cold query X-Cache = %q, want miss", got)
+	}
+
+	const (
+		clients   = 16
+		perClient = 125 // 2000 requests total
+		zipfS     = 1.2
+	)
+	type obs struct {
+		rank int
+		lat  time.Duration
+		hit  bool
+		err  bool
+	}
+	perClientObs := make([][]obs, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(len(universe)-1))
+			client := &http.Client{}
+			for k := 0; k < perClient; k++ {
+				rank := int(zipf.Uint64())
+				start := time.Now()
+				resp, err := client.Post(ts.URL+"/shortcut", "application/json", strings.NewReader(universe[rank].body))
+				o := obs{rank: rank, lat: time.Since(start)}
+				if err != nil {
+					o.err = true
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					xc := resp.Header.Get("X-Cache")
+					o.hit = xc == "hit" || xc == "coalesced"
+					o.err = resp.StatusCode != http.StatusOK
+					resp.Body.Close()
+				}
+				perClientObs[c] = append(perClientObs[c], o)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var all []obs
+	for _, list := range perClientObs {
+		all = append(all, list...)
+	}
+	var lats, hitLats, headHitLats []time.Duration
+	hits, errors := 0, 0
+	for _, o := range all {
+		if o.err {
+			errors++
+			continue
+		}
+		lats = append(lats, o.lat)
+		if o.hit {
+			hits++
+			hitLats = append(hitLats, o.lat)
+			if o.rank == 0 {
+				headHitLats = append(headHitLats, o.lat)
+			}
+		}
+	}
+	if errors > 0 {
+		t.Errorf("%d requests errored", errors)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	sort.Slice(hitLats, func(i, j int) bool { return hitLats[i] < hitLats[j] })
+	sort.Slice(headHitLats, func(i, j int) bool { return headHitLats[i] < headHitLats[j] })
+
+	hitRatio := float64(hits) / float64(len(all))
+	if hitRatio < 0.5 {
+		t.Errorf("hit ratio %.3f under zipf skew, want >= 0.5", hitRatio)
+	}
+	if len(headHitLats) == 0 {
+		t.Fatal("the zipf head never hit the cache")
+	}
+	headHitP50 := headHitLats[len(headHitLats)/2]
+	speedup := float64(cold) / float64(headHitP50)
+	if speedup < 100 {
+		t.Errorf("grid-n16384: cache-hit p50 %v vs cold %v = %.0fx, want >= 100x (O(1) hit path)",
+			headHitP50, cold, speedup)
+	}
+
+	// Allocation count of the warm service-level hit path (request decode
+	// and HTTP encoding excluded: this isolates the lookup the cache makes
+	// O(1)).
+	warm := &Request{Family: "grid", N: 256, Seed: 1, Partition: PartitionSpec{Kind: "voronoi", Parts: 16, Seed: 1}}
+	if _, _, err := svc.Query(warm); err != nil {
+		t.Fatal(err)
+	}
+	hitAllocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := svc.Query(warm); err != nil {
+			t.Error(err)
+		}
+	})
+
+	ts.Close()
+	leaked := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline || time.Now().After(deadline) {
+			leaked = g - baseline
+			if leaked < 0 {
+				leaked = 0
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if leaked > 0 {
+		t.Errorf("%d goroutines leaked across the soak (baseline %d)", leaked, baseline)
+	}
+
+	report := SoakReport{
+		Clients:               clients,
+		Requests:              len(all),
+		ZipfS:                 zipfS,
+		HitRatio:              hitRatio,
+		P50Micros:             percentileUS(lats, 0.50),
+		P99Micros:             percentileUS(lats, 0.99),
+		HitP50Micros:          percentileUS(hitLats, 0.50),
+		ColdMillisGrid16384:   float64(cold.Nanoseconds()) / 1e6,
+		HitP50MicrosGrid16384: float64(headHitP50.Nanoseconds()) / 1e3,
+		SpeedupGrid16384:      speedup,
+		HitPathAllocsPerQuery: hitAllocs,
+		Errors:                errors,
+		GoroutinesLeaked:      leaked,
+		RaceEnabled:           raceEnabled,
+	}
+	t.Logf("soak: %+v", report)
+	if out := os.Getenv("SHORTCUTD_SOAK_OUT"); out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
